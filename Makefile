@@ -1,0 +1,48 @@
+# Convenience targets for the QuEST reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet fmt experiments examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/questbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/shor_scaling
+	$(GO) run ./examples/logical_cnot
+	$(GO) run ./examples/tfactory
+	$(GO) run ./examples/threshold
+	$(GO) run ./examples/workload_report
+	$(GO) run ./examples/host_pipeline
+	$(GO) run ./examples/algorithms
+
+# Brief fuzzing sessions over the wire formats.
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/qasm/
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/qexe/
+
+clean:
+	rm -rf internal/qasm/testdata internal/qexe/testdata
+	$(GO) clean ./...

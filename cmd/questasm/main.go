@@ -1,0 +1,134 @@
+// Command questasm assembles, disassembles, inspects and runs quantum
+// executables — the §2.2 offload artifacts.
+//
+// Usage:
+//
+//	questasm asm  -n QUBITS [-cache distill] <in.qasm >out.qx
+//	questasm dis  <in.qx >out.qasm
+//	questasm info <in.qx
+//	questasm run  [-tiles N] [-patches N] [-noise P] <in.qx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"quest"
+	"quest/internal/core"
+	"quest/internal/distill"
+	"quest/internal/qasm"
+	"quest/internal/qexe"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("questasm: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "asm":
+		asm(args)
+	case "dis":
+		dis(args)
+	case "info":
+		info(args)
+	case "run":
+		run(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  questasm asm  -n QUBITS [-cache distill] <in.qasm >out.qx
+  questasm dis  <in.qx >out.qasm
+  questasm info <in.qx
+  questasm run  [-tiles N] [-patches N] [-noise P] <in.qx`)
+	os.Exit(2)
+}
+
+func asm(args []string) {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	n := fs.Int("n", 2, "logical register size")
+	cache := fs.String("cache", "", "bundle a cache section: 'distill' for the 15-to-1 round body")
+	fs.Parse(args)
+	p, err := qasm.Parse(os.Stdin, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exe := qexe.FromProgram(p)
+	switch *cache {
+	case "":
+	case "distill":
+		exe.AddCache(0, distill.RoundCircuit())
+	default:
+		log.Fatalf("unknown cache bundle %q", *cache)
+	}
+	if err := exe.Encode(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func dis(args []string) {
+	if len(args) != 0 {
+		usage()
+	}
+	exe, err := qexe.Decode(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := exe.ToProgram()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := qasm.Write(os.Stdout, p); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func info(args []string) {
+	if len(args) != 0 {
+		usage()
+	}
+	exe, err := qexe.Decode(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(exe.Summary())
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	tiles := fs.Int("tiles", 1, "MCE tiles")
+	patches := fs.Int("patches", 2, "patches per tile")
+	noiseP := fs.Float64("noise", 0, "uniform physical error rate")
+	fs.Parse(args)
+	exe, err := qexe.Decode(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := quest.DefaultMachineConfig()
+	cfg.Tiles = *tiles
+	cfg.PatchesPerTile = *patches
+	if *noiseP > 0 {
+		nm := quest.UniformNoise(*noiseP)
+		cfg.Noise = &nm
+	}
+	m := core.NewMachine(cfg)
+	rep, err := m.RunExecutable(exe, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %d instructions in %d cycles (drained=%v)\n",
+		rep.LogicalRetired, rep.Cycles, rep.Drained)
+	for _, r := range rep.Results {
+		fmt.Printf("  logical measurement: patch %d -> %d\n", r.Patch, r.Bit)
+	}
+	fmt.Printf("bus: baseline %d bytes, QuEST %d bytes (%.0fx)\n",
+		rep.BaselineBusBytes, rep.QuESTBusBytes, rep.Savings())
+}

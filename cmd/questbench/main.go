@@ -1,0 +1,274 @@
+// Command questbench regenerates every table and figure of the paper's
+// evaluation section as text tables. Run with no arguments for everything,
+// or name experiments: fig2 fig6 fig10 fig11 fig13 fig14 fig15 fig16 table1
+// table2 machine.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"quest/internal/chart"
+	"quest/internal/core"
+	"quest/internal/workload"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func()
+}{
+	{"fig2", "Baseline instruction bandwidth vs qubit count (Shor 128-1024 bits)", fig2},
+	{"fig6", "QECC:regular instruction ratio per workload", fig6},
+	{"fig10", "Required microcode capacity vs qubits serviced per design", fig10},
+	{"fig11", "Qubits serviced per MCE at a fixed 4Kb budget", fig11},
+	{"fig13", "T-factory instruction overhead per workload", fig13},
+	{"fig14", "Global bandwidth savings with QuEST", fig14},
+	{"fig15", "Savings sensitivity to qubit error rate", fig15},
+	{"fig16", "MCE throughput per technology and syndrome design", fig16},
+	{"table1", "Technology parameters", table1},
+	{"table2", "QECC microcode design points", table2},
+	{"machine", "Cycle-level machine demo: measured (not modelled) savings", machine},
+	{"concat", "Extension (§9): concatenated codes, microcode inner + software outer", concatExt},
+	{"dram", "Extension: cryo-DRAM feed analysis of the instruction stream", dramExt},
+	{"threshold", "Validation: logical failure rate vs physical rate and distance", threshold},
+	{"memory", "Validation: logical memory through the full machine decode path", memory},
+	{"syndrome", "Extension: syndrome vs instruction traffic on the global bus", syndrome},
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 && args[0] == "-md" {
+		// Full evaluation as a self-contained Markdown report.
+		fmt.Print(core.MarkdownReport(150))
+		return
+	}
+	if len(args) == 0 {
+		for _, e := range experiments {
+			runOne(e.name, e.desc, e.run)
+		}
+		return
+	}
+	byName := map[string]int{}
+	for i, e := range experiments {
+		byName[e.name] = i
+	}
+	for _, a := range args {
+		i, ok := byName[strings.ToLower(a)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n", a)
+			for _, e := range experiments {
+				fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
+			}
+			os.Exit(2)
+		}
+		runOne(experiments[i].name, experiments[i].desc, experiments[i].run)
+	}
+}
+
+func runOne(name, desc string, f func()) {
+	fmt.Printf("== %s: %s ==\n", name, desc)
+	f()
+	fmt.Println()
+}
+
+func fig2() {
+	var rows [][]string
+	for _, r := range core.Fig2() {
+		rows = append(rows, []string{
+			strconv.Itoa(r.Bits), strconv.Itoa(r.LogicalQubits), strconv.Itoa(r.Distance),
+			fmt.Sprintf("%.3g", float64(r.PhysQubits)), r.Bandwidth.String(),
+		})
+	}
+	fmt.Print(core.FormatTable(
+		[]string{"shor-bits", "logical-qubits", "distance", "phys-qubits", "baseline-BW"}, rows))
+}
+
+func fig6() {
+	var rows [][]string
+	var bars []chart.Bar
+	for _, r := range core.Fig6() {
+		rows = append(rows, []string{
+			r.Workload, fmt.Sprintf("%.3g", r.Ratio), fmt.Sprintf("10^%.1f", r.Orders),
+			fmt.Sprintf("%.5f%%", 100*r.QECCFrac),
+		})
+		bars = append(bars, chart.Bar{Label: r.Workload, Value: r.Ratio})
+	}
+	fmt.Print(core.FormatTable([]string{"workload", "qecc:logical", "orders", "qecc-share"}, rows))
+	fmt.Println()
+	fmt.Print(chart.MustRender(bars, chart.Options{Log: true, Unit: "x", Width: 44}))
+}
+
+func fig10() {
+	var rows [][]string
+	for _, r := range core.Fig10() {
+		rows = append(rows, []string{
+			strconv.Itoa(r.Qubits), strconv.Itoa(r.RAMBits), strconv.Itoa(r.FIFOBits),
+			strconv.Itoa(r.CellBits),
+		})
+	}
+	fmt.Print(core.FormatTable([]string{"qubits", "RAM-bits", "FIFO-bits", "unitcell-bits"}, rows))
+}
+
+func fig11() {
+	var rows [][]string
+	for _, r := range core.Fig11() {
+		rows = append(rows, []string{
+			r.Config.String(), strconv.Itoa(r.RAM), strconv.Itoa(r.FIFO), strconv.Itoa(r.UnitCell),
+		})
+	}
+	fmt.Print(core.FormatTable([]string{"memory config", "RAM", "FIFO", "unit-cell"}, rows))
+}
+
+func fig13() {
+	var rows [][]string
+	for _, r := range core.Fig13() {
+		rows = append(rows, []string{
+			r.Workload, strconv.Itoa(r.DistillRounds), strconv.Itoa(r.Factories),
+			fmt.Sprintf("%.3g", r.Ratio), fmt.Sprintf("10^%.1f", r.Orders),
+		})
+	}
+	fmt.Print(core.FormatTable([]string{"workload", "distill-rounds", "t-factories", "tfactory:logical", "orders"}, rows))
+}
+
+func fig14() {
+	var rows [][]string
+	for _, r := range core.Fig14() {
+		rows = append(rows, []string{
+			r.Workload, r.BaselineBW.String(), r.QuESTBW.String(), r.QuESTCacheBW.String(),
+			fmt.Sprintf("10^%.1f", r.OrdersQuEST), fmt.Sprintf("10^%.1f", r.OrdersCache),
+		})
+	}
+	fmt.Print(core.FormatTable(
+		[]string{"workload", "baseline", "quest", "quest+cache", "savings", "savings+cache"}, rows))
+	fmt.Println()
+	var bars []chart.Bar
+	for _, r := range core.Fig14() {
+		bars = append(bars, chart.Bar{Label: r.Workload + " quest", Value: r.SavingsQuEST})
+		bars = append(bars, chart.Bar{Label: r.Workload + " +cache", Value: r.SavingsCache})
+	}
+	fmt.Print(chart.MustRender(bars, chart.Options{Log: true, Unit: "x", Width: 44}))
+	fmt.Printf("coefficient of variation across tech/syndrome configs: %.5f%%\n",
+		100*core.Fig14CoefficientOfVariation())
+}
+
+func fig15() {
+	var rows [][]string
+	for _, r := range core.Fig15() {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0e", r.ErrorRate), r.Workload, strconv.Itoa(r.Distance),
+			fmt.Sprintf("%.3g", r.SavingsQuEST), fmt.Sprintf("%.3g", r.SavingsCache),
+			fmt.Sprintf("%.3g", r.DistillOv),
+		})
+	}
+	fmt.Print(core.FormatTable(
+		[]string{"error-rate", "workload", "distance", "savings", "savings+cache", "distill-ov"}, rows))
+}
+
+func fig16() {
+	var rows [][]string
+	for _, r := range core.Fig16() {
+		rows = append(rows, []string{r.Tech, r.Schedule, r.Config.String(), strconv.Itoa(r.Qubits)})
+	}
+	fmt.Print(core.FormatTable([]string{"technology", "syndrome", "memory config", "qubits/MCE"}, rows))
+}
+
+func table1() {
+	var rows [][]string
+	for _, t := range workload.Techs() {
+		rows = append(rows, []string{
+			t.Name,
+			fmt.Sprintf("%.0fns", t.TPrep), fmt.Sprintf("%.0fns", t.T1),
+			fmt.Sprintf("%.0fns", t.TMeas), fmt.Sprintf("%.0fns", t.TCNOT),
+			fmt.Sprintf("%.0fns", t.TEcc),
+		})
+	}
+	fmt.Print(core.FormatTable([]string{"parameter set", "t_prep", "t_1", "t_meas", "t_CNOT", "T_ecc"}, rows))
+}
+
+func table2() {
+	var rows [][]string
+	for _, r := range core.Table2() {
+		rows = append(rows, []string{
+			r.Schedule, strconv.Itoa(r.Instructions), r.Config.String(),
+			strconv.Itoa(r.JJs), fmt.Sprintf("%.1f µW", r.PowerUW),
+		})
+	}
+	fmt.Print(core.FormatTable([]string{"syndrome", "no. instructions", "optimal µcode config", "no. JJs", "power"}, rows))
+}
+
+func concatExt() {
+	var rows [][]string
+	for _, r := range core.ExtConcat() {
+		rows = append(rows, []string{
+			strconv.Itoa(r.Levels), strconv.Itoa(r.InnerQubits),
+			fmt.Sprintf("%.3g", r.LogicalError), strconv.Itoa(r.OuterInstrs),
+			fmt.Sprintf("%.3g", r.Savings),
+		})
+	}
+	fmt.Print(core.FormatTable(
+		[]string{"outer-levels", "inner-qubits", "logical-error", "outer-instrs/round", "hybrid-savings"}, rows))
+}
+
+func dramExt() {
+	var rows [][]string
+	for _, r := range core.ExtDRAM() {
+		rows = append(rows, []string{
+			r.Workload, strconv.Itoa(r.BaselineChannels), fmt.Sprintf("%.2e", r.QuESTUtilization),
+		})
+	}
+	fmt.Print(core.FormatTable(
+		[]string{"workload", "baseline DDR channels needed", "QuEST channel utilization"}, rows))
+}
+
+func threshold() {
+	var rows [][]string
+	for _, r := range core.Threshold([]float64{2e-3, 1e-3, 5e-4}, []int{3, 5}, 200) {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0e", r.PhysRate), strconv.Itoa(r.Distance),
+			fmt.Sprintf("%.4f", r.FailRate), strconv.Itoa(r.Trials),
+		})
+	}
+	fmt.Print(core.FormatTable([]string{"phys-rate", "distance", "logical-fail", "trials"}, rows))
+}
+
+func memory() {
+	var rows [][]string
+	for _, p := range []float64{0, 1e-4, 5e-4} {
+		r, err := core.MachineMemory(p, 8, 40)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memory experiment failed:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0e", r.PhysRate), strconv.Itoa(r.Rounds),
+			fmt.Sprintf("%.3f", r.FailRate()), strconv.Itoa(r.Trials),
+		})
+	}
+	fmt.Print(core.FormatTable([]string{"phys-rate", "rounds", "logical-fail", "trials"}, rows))
+}
+
+func syndrome() {
+	var rows [][]string
+	for _, r := range core.ExtSyndromeTraffic([]float64{0, 1e-4, 1e-3}, 200) {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0e", r.PhysRate), strconv.Itoa(r.Cycles),
+			strconv.FormatUint(r.InstructionBytes, 10), strconv.FormatUint(r.SyndromeBytes, 10),
+		})
+	}
+	fmt.Print(core.FormatTable([]string{"phys-rate", "cycles", "instr-bytes (down)", "syndrome-bytes (up)"}, rows))
+}
+
+func machine() {
+	res, err := core.MachineDemo(50)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "machine demo failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("distillation body: %d logical instructions, replayed 50x from the MCE cache\n", core.RoundInstrs())
+	fmt.Printf("cycles: %d   logical retired: %d\n", res.Cycles, res.LogicalRetired)
+	fmt.Printf("baseline bus: %d bytes   QuEST bus: %d bytes\n", res.BaselineBusBytes, res.QuESTBusBytes)
+	fmt.Printf("measured savings: %.0fx\n", res.MeasuredSavings)
+}

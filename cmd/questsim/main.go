@@ -1,0 +1,156 @@
+// Command questsim runs a cycle-level simulation of a QuEST machine: an MCE
+// array replaying QECC microcode over a noisy stabilizer-simulated surface
+// code, executing a logical workload dispatched by the master controller,
+// with two-level decoding and full instruction-bus accounting.
+//
+// Usage:
+//
+//	questsim [flags]
+//
+//	-tiles N        MCE tiles (default 1)
+//	-patches N      logical patches per tile (default 2)
+//	-d N            code distance (default 3)
+//	-design NAME    microcode design: ram, fifo, unitcell (default unitcell)
+//	-noise P        uniform physical error rate (default 0: noiseless)
+//	-cycles N       extra idle QECC cycles to run after the program (default 50)
+//	-seed N         reproducibility seed (default 1)
+//	-program NAME   workload: bell, ghz, distill, paulis (default bell)
+//	-replays N      cache replays for -program distill (default 20)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"quest"
+	"quest/internal/awg"
+	"quest/internal/core"
+	"quest/internal/microcode"
+	"quest/internal/workload"
+)
+
+func main() {
+	var (
+		tiles   = flag.Int("tiles", 1, "MCE tiles")
+		patches = flag.Int("patches", 2, "logical patches per tile")
+		dist    = flag.Int("d", 3, "code distance")
+		design  = flag.String("design", "unitcell", "microcode design: ram, fifo, unitcell")
+		noiseP  = flag.Float64("noise", 0, "uniform physical error rate")
+		cycles  = flag.Int("cycles", 50, "idle QECC cycles appended after the program")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		program = flag.String("program", "bell", "workload: bell, ghz, distill, paulis")
+		replays = flag.Int("replays", 20, "cache replays for -program distill")
+		tech    = flag.String("tech", "projd", "timing model: exps, projf, projd, none")
+	)
+	flag.Parse()
+
+	cfg := quest.DefaultMachineConfig()
+	cfg.Tiles = *tiles
+	cfg.PatchesPerTile = *patches
+	cfg.Distance = *dist
+	cfg.Seed = *seed
+	switch strings.ToLower(*design) {
+	case "ram":
+		cfg.Design = microcode.DesignRAM
+	case "fifo":
+		cfg.Design = microcode.DesignFIFO
+	case "unitcell":
+		cfg.Design = microcode.DesignUnitCell
+	default:
+		log.Fatalf("unknown design %q", *design)
+	}
+	if *noiseP > 0 {
+		nm := quest.UniformNoise(*noiseP)
+		cfg.Noise = &nm
+	}
+	switch strings.ToLower(*tech) {
+	case "none":
+	case "exps", "projf", "projd":
+		t := map[string]workload.Tech{
+			"exps": workload.ExperimentalS, "projf": workload.ProjectedF, "projd": workload.ProjectedD,
+		}[strings.ToLower(*tech)]
+		cfg.Timing = &awg.Timing{
+			PrepNs: t.TPrep, Gate1Ns: t.T1, MeasNs: t.TMeas, CNOTNs: t.TCNOT, IdleNs: t.T1,
+		}
+	default:
+		log.Fatalf("unknown tech %q", *tech)
+	}
+	m := quest.NewMachine(cfg)
+
+	var rep quest.RunReport
+	var err error
+	if *program == "distill" {
+		rep, err = m.RunDistillationCached(*replays, 0)
+	} else {
+		p := buildProgram(*program, *patches)
+		rep, err = m.RunProgram(p, 0)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	for c := 0; c < *cycles; c++ {
+		m.Master().StepCycle()
+	}
+
+	fmt.Printf("questsim: %d tile(s) × %d patch(es), d=%d, %s microcode, noise=%g, program=%s\n",
+		*tiles, *patches, *dist, cfg.Design, *noiseP, *program)
+	fmt.Printf("  program cycles:        %d (+%d idle)\n", rep.Cycles, *cycles)
+	fmt.Printf("  logical retired:       %d\n", rep.LogicalRetired)
+	for _, r := range rep.Results {
+		fmt.Printf("  logical measurement:   patch %d -> %d\n", r.Patch, r.Bit)
+	}
+	fmt.Printf("  baseline bus bytes:    %d\n", rep.BaselineBusBytes)
+	fmt.Printf("  QuEST bus bytes:       %d\n", rep.QuESTBusBytes)
+	fmt.Printf("  syndrome bytes (up):   %d\n", rep.SyndromeBytes)
+	if rep.QuESTBusBytes > 0 {
+		fmt.Printf("  measured savings:      %.0fx\n", rep.Savings())
+	}
+	escalated, decodes := m.Master().Stats()
+	fmt.Printf("  defects escalated:     %d (global decodes: %d)\n", escalated, decodes)
+	for i, t := range m.Master().Tiles() {
+		micro, logical, hits, loads, stalls := t.Stats()
+		fmt.Printf("  tile %d: %d µops, %d logical, cache %d hits/%d loads, %d T stalls, %d µcode bits streamed\n",
+			i, micro, logical, hits, loads, stalls, t.Store().BitsStreamed())
+		if ns := t.ElapsedNs(); ns > 0 {
+			fmt.Printf("  tile %d wall clock:    %.3f µs (%s gate latencies)\n", i, ns/1e3, *tech)
+		}
+	}
+	_ = core.RoundInstrs
+}
+
+func buildProgram(name string, patches int) *quest.Program {
+	p := quest.NewProgram(max(2, patches))
+	switch strings.ToLower(name) {
+	case "bell":
+		p.Prep0(0).Prep0(1).H(0).CNOT(0, 1).MeasZ(0).MeasZ(1)
+	case "ghz":
+		for q := 0; q < patches; q++ {
+			p.Prep0(q)
+		}
+		p.H(0)
+		for q := 1; q < patches; q++ {
+			p.CNOT(0, q)
+		}
+		for q := 0; q < patches; q++ {
+			p.MeasZ(q)
+		}
+	case "paulis":
+		for i := 0; i < 20; i++ {
+			p.X(i % patches)
+			p.Z((i + 1) % patches)
+		}
+		p.MeasZ(0)
+	default:
+		log.Fatalf("unknown program %q (want bell, ghz, distill, paulis)", name)
+	}
+	return p
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

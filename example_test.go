@@ -1,0 +1,55 @@
+package quest_test
+
+import (
+	"fmt"
+
+	"quest"
+)
+
+// ExampleNewMachine runs a tiny logical program end to end and reports the
+// measured instruction-bus savings class.
+func ExampleNewMachine() {
+	m := quest.NewMachine(quest.DefaultMachineConfig())
+	p := quest.NewProgram(2)
+	p.Prep0(0).X(0).MeasZ(0)
+	rep, err := m.RunProgram(p, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("retired:", rep.LogicalRetired)
+	fmt.Println("measured bit:", rep.Results[0].Bit)
+	fmt.Println("baseline > 100x QuEST traffic:", rep.Savings() > 100)
+	// Output:
+	// retired: 3
+	// measured bit: 1
+	// baseline > 100x QuEST traffic: true
+}
+
+// ExampleNewEstimator derives the paper's headline quantities for Shor-1024.
+func ExampleNewEstimator() {
+	est := quest.NewEstimator()
+	e := est.Estimate(quest.ShorProfile(1024))
+	fmt.Println("code distance:", e.Distance)
+	fmt.Println("millions of physical qubits:", e.TotalPhysical > 1_000_000)
+	fmt.Println("QuEST saves at least 10^5:", e.SavingsQuEST() >= 1e5)
+	fmt.Println("caching reaches ~10^8:", e.SavingsQuESTCache() >= 1e7)
+	// Output:
+	// code distance: 13
+	// millions of physical qubits: true
+	// QuEST saves at least 10^5: true
+	// caching reaches ~10^8: true
+}
+
+// ExampleProgram shows the fluent circuit builder.
+func ExampleProgram() {
+	p := quest.NewProgram(3)
+	p.Prep0(0).Prep0(1).H(0).CNOT(0, 1).T(2).MeasZ(0)
+	fmt.Println("instructions:", len(p.Instrs))
+	fmt.Println("T gates:", p.TCount())
+	fmt.Println("last:", p.Instrs[len(p.Instrs)-1])
+	// Output:
+	// instructions: 6
+	// T gates: 1
+	// last: LMEASZ L0
+}

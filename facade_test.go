@@ -1,0 +1,50 @@
+package quest_test
+
+import (
+	"testing"
+
+	"quest"
+)
+
+// TestFacadeSurface exercises every re-export of the public package so the
+// facade cannot silently drift from the internal packages.
+func TestFacadeSurface(t *testing.T) {
+	if got := quest.NewLayout(3, 4).NumPatches(); got != 4 {
+		t.Errorf("NewLayout patches = %d", got)
+	}
+	nm := quest.UniformNoise(1e-3)
+	if nm.Idle != 1e-3 || nm.Gate2 != 1e-3 {
+		t.Errorf("UniformNoise = %+v", nm)
+	}
+	if got := len(quest.Workloads()); got != 7 {
+		t.Errorf("Workloads = %d", got)
+	}
+	if quest.ShorProfile(256).LogicalQubits != 515 {
+		t.Error("ShorProfile wrong")
+	}
+	if quest.Steane.Depth != 9 || quest.Shor.Depth != 14 ||
+		quest.SC17.Name != "SC-17" || quest.SC13.Name != "SC-13" {
+		t.Error("schedule re-exports wrong")
+	}
+	designs := []quest.Design{quest.DesignRAM, quest.DesignFIFO, quest.DesignUnitCell}
+	if designs[0].String() != "RAM" || designs[2].String() != "Unit-cell" {
+		t.Error("design re-exports wrong")
+	}
+	cfg := quest.DefaultMachineConfig()
+	cfg.Design = quest.DesignFIFO
+	m := quest.NewMachine(cfg)
+	p := quest.NewProgram(2)
+	p.PrepPlus(0).S(0).Z(1).MeasX(0)
+	rep, err := m.RunProgram(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Drained || rep.LogicalRetired != 4 {
+		t.Fatalf("facade machine run: %+v", rep)
+	}
+	est := quest.NewEstimator()
+	var e quest.Estimate = est.Estimate(quest.Workloads()[0])
+	if e.Distance < 3 {
+		t.Error("estimate via facade broken")
+	}
+}

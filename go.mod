@@ -1,0 +1,3 @@
+module quest
+
+go 1.22

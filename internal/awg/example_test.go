@@ -1,0 +1,32 @@
+package awg_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quest/internal/awg"
+	"quest/internal/clifford"
+	"quest/internal/isa"
+)
+
+// ExampleExecutionUnit shows the primeline model: µops latch onto the
+// switch matrix in any order, then the master clock fires them in lock-step.
+func ExampleExecutionUnit() {
+	tb := clifford.New(2, rand.New(rand.NewSource(1)))
+	u := awg.New(tb, nil)
+	u.MeasSink = func(q, bit int) { fmt.Printf("qubit %d measured %d\n", q, bit) }
+
+	w := isa.NewVLIW(2)
+	w.Set(0, isa.OpPrep1)
+	u.ExecuteWord(w) // latch + fire
+
+	w2 := isa.NewVLIW(2)
+	w2.Set(0, isa.OpMeasZ)
+	u.ExecuteWord(w2)
+
+	latches, fires, meas := u.Stats()
+	fmt.Printf("latches %d, fires %d, measurements %d\n", latches, fires, meas)
+	// Output:
+	// qubit 0 measured 1
+	// latches 4, fires 2, measurements 1
+}

@@ -1,0 +1,84 @@
+package awg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quest/internal/clifford"
+	"quest/internal/isa"
+)
+
+// projectedD mirrors Table 1's Projected_D column.
+var projectedD = Timing{PrepNs: 40, Gate1Ns: 5, MeasNs: 35, CNOTNs: 20, IdleNs: 5}
+
+func TestTimingValidate(t *testing.T) {
+	if err := projectedD.Validate(); err != nil {
+		t.Errorf("valid timing rejected: %v", err)
+	}
+	bad := projectedD
+	bad.MeasNs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero latency accepted")
+	}
+}
+
+func TestWordLatencyIsMax(t *testing.T) {
+	w := isa.NewVLIW(4)
+	w.Set(0, isa.OpH)         // 5ns
+	w.SetPair(1, isa.OpCZ, 2) // 20ns
+	w.SetPair(2, isa.OpCZ, 1)
+	// qubit 3 idle: 5ns
+	if got := projectedD.WordLatencyNs(w); got != 20 {
+		t.Errorf("word latency = %v, want 20 (slowest op)", got)
+	}
+	w.Set(3, isa.OpMeasZ)
+	if got := projectedD.WordLatencyNs(w); got != 35 {
+		t.Errorf("with measurement = %v, want 35", got)
+	}
+	if got := projectedD.WordLatencyNs(isa.NewVLIW(2)); got != 5 {
+		t.Errorf("all-idle word = %v, want idle floor 5", got)
+	}
+}
+
+func TestElapsedAccumulates(t *testing.T) {
+	tb := clifford.New(2, rand.New(rand.NewSource(1)))
+	u := New(tb, nil)
+	u.MeasSink = func(int, int) {}
+	u.SetTiming(projectedD)
+	// Sub-cycle 1: prep (40ns). Sub-cycle 2: CNOT (20ns). Sub-cycle 3:
+	// measure (35ns). Total 95ns.
+	w1 := isa.NewVLIW(2)
+	w1.Set(0, isa.OpPrep0)
+	u.ExecuteWord(w1)
+	w2 := isa.NewVLIW(2)
+	w2.SetPair(0, isa.OpCNOTControl, 1)
+	w2.SetPair(1, isa.OpCNOTTarget, 0)
+	u.ExecuteWord(w2)
+	w3 := isa.NewVLIW(2)
+	w3.Set(1, isa.OpMeasZ)
+	u.ExecuteWord(w3)
+	if got := u.ElapsedNs(); math.Abs(got-95) > 1e-9 {
+		t.Errorf("elapsed = %v ns, want 95", got)
+	}
+}
+
+func TestNoTimingMeansNoAccounting(t *testing.T) {
+	tb := clifford.New(1, rand.New(rand.NewSource(1)))
+	u := New(tb, nil)
+	u.ExecuteWord(isa.NewVLIW(1))
+	if u.ElapsedNs() != 0 {
+		t.Error("elapsed nonzero without timing")
+	}
+}
+
+func TestSetTimingRejectsInvalid(t *testing.T) {
+	tb := clifford.New(1, rand.New(rand.NewSource(1)))
+	u := New(tb, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid timing accepted")
+		}
+	}()
+	u.SetTiming(Timing{})
+}

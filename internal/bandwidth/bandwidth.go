@@ -1,0 +1,133 @@
+// Package bandwidth provides the units, counters and formatting used across
+// the instruction-bandwidth experiments: byte rates spanning the paper's
+// eight orders of magnitude, instruction counters for the machine
+// simulations, and orders-of-magnitude helpers for reporting savings.
+package bandwidth
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// BytesPerSec is an instruction bandwidth.
+type BytesPerSec float64
+
+// Rate units.
+const (
+	KBs BytesPerSec = 1e3
+	MBs BytesPerSec = 1e6
+	GBs BytesPerSec = 1e9
+	TBs BytesPerSec = 1e12
+	PBs BytesPerSec = 1e15
+)
+
+// String renders the rate with an SI prefix, e.g. "3.2 TB/s".
+func (b BytesPerSec) String() string {
+	abs := math.Abs(float64(b))
+	switch {
+	case abs >= float64(PBs):
+		return fmt.Sprintf("%.3g PB/s", float64(b/PBs))
+	case abs >= float64(TBs):
+		return fmt.Sprintf("%.3g TB/s", float64(b/TBs))
+	case abs >= float64(GBs):
+		return fmt.Sprintf("%.3g GB/s", float64(b/GBs))
+	case abs >= float64(MBs):
+		return fmt.Sprintf("%.3g MB/s", float64(b/MBs))
+	case abs >= float64(KBs):
+		return fmt.Sprintf("%.3g KB/s", float64(b/KBs))
+	}
+	return fmt.Sprintf("%.3g B/s", float64(b))
+}
+
+// OrdersOfMagnitude returns log10 of the ratio a/b — the paper's preferred
+// way of reporting savings ("five orders of magnitude"). Both must be
+// positive.
+func OrdersOfMagnitude(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		panic(fmt.Sprintf("bandwidth: non-positive ratio operands %v/%v", a, b))
+	}
+	return math.Log10(a / b)
+}
+
+// Counter is a thread-safe instruction/byte counter used by the machine
+// simulations to meter traffic on each bus.
+type Counter struct {
+	instructions atomic.Uint64
+	bytes        atomic.Uint64
+}
+
+// Add records n instructions totalling b bytes.
+func (c *Counter) Add(n, b uint64) {
+	c.instructions.Add(n)
+	c.bytes.Add(b)
+}
+
+// Instructions returns the instruction count.
+func (c *Counter) Instructions() uint64 { return c.instructions.Load() }
+
+// Bytes returns the byte count.
+func (c *Counter) Bytes() uint64 { return c.bytes.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	c.instructions.Store(0)
+	c.bytes.Store(0)
+}
+
+// Rate converts the byte count into a bandwidth over the given duration.
+func (c *Counter) Rate(seconds float64) BytesPerSec {
+	if seconds <= 0 {
+		panic(fmt.Sprintf("bandwidth: non-positive duration %v", seconds))
+	}
+	return BytesPerSec(float64(c.Bytes()) / seconds)
+}
+
+// Breakdown is a labelled set of traffic components that sums to a total,
+// used by the evaluation tables (QECC vs distillation vs logical traffic).
+type Breakdown struct {
+	labels []string
+	bytes  []float64
+}
+
+// Add appends a component.
+func (b *Breakdown) Add(label string, bytes float64) {
+	b.labels = append(b.labels, label)
+	b.bytes = append(b.bytes, bytes)
+}
+
+// Total returns the summed bytes.
+func (b *Breakdown) Total() float64 {
+	t := 0.0
+	for _, v := range b.bytes {
+		t += v
+	}
+	return t
+}
+
+// Fraction returns the share of the labelled component, or 0 if unknown.
+func (b *Breakdown) Fraction(label string) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	for i, l := range b.labels {
+		if l == label {
+			return b.bytes[i] / t
+		}
+	}
+	return 0
+}
+
+// Components returns the labels in insertion order.
+func (b *Breakdown) Components() []string { return append([]string(nil), b.labels...) }
+
+// Bytes returns the byte count of the labelled component.
+func (b *Breakdown) Bytes(label string) float64 {
+	for i, l := range b.labels {
+		if l == label {
+			return b.bytes[i]
+		}
+	}
+	return 0
+}

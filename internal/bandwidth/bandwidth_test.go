@@ -1,0 +1,107 @@
+package bandwidth
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRateFormatting(t *testing.T) {
+	cases := []struct {
+		in   BytesPerSec
+		want string
+	}{
+		{100 * TBs, "100 TB/s"},
+		{3.2 * GBs, "3.2 GB/s"},
+		{1.5 * MBs, "1.5 MB/s"},
+		{2 * KBs, "2 KB/s"},
+		{512, "512 B/s"},
+		{2.5 * PBs, "2.5 PB/s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%v String = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestOrdersOfMagnitude(t *testing.T) {
+	if got := OrdersOfMagnitude(1e13, 1e5); math.Abs(got-8) > 1e-9 {
+		t.Errorf("OOM(1e13,1e5) = %v, want 8", got)
+	}
+	if got := OrdersOfMagnitude(5, 5); got != 0 {
+		t.Errorf("equal operands OOM = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive operand accepted")
+		}
+	}()
+	OrdersOfMagnitude(0, 1)
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(10, 20)
+	c.Add(5, 10)
+	if c.Instructions() != 15 || c.Bytes() != 30 {
+		t.Errorf("counter = (%d,%d)", c.Instructions(), c.Bytes())
+	}
+	if got := c.Rate(2); got != 15 {
+		t.Errorf("rate = %v", got)
+	}
+	c.Reset()
+	if c.Instructions() != 0 || c.Bytes() != 0 {
+		t.Error("reset failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero duration accepted")
+		}
+	}()
+	c.Rate(0)
+}
+
+func TestCounterConcurrency(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(1, 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Instructions() != 8000 || c.Bytes() != 16000 {
+		t.Errorf("concurrent counter = (%d,%d), want (8000,16000)", c.Instructions(), c.Bytes())
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add("qecc", 999000)
+	b.Add("logical", 1000)
+	if b.Total() != 1e6 {
+		t.Errorf("total = %v", b.Total())
+	}
+	if got := b.Fraction("qecc"); math.Abs(got-0.999) > 1e-12 {
+		t.Errorf("qecc fraction = %v", got)
+	}
+	if got := b.Fraction("missing"); got != 0 {
+		t.Errorf("missing fraction = %v", got)
+	}
+	if got := b.Bytes("logical"); got != 1000 {
+		t.Errorf("logical bytes = %v", got)
+	}
+	if got := strings.Join(b.Components(), ","); got != "qecc,logical" {
+		t.Errorf("components = %q", got)
+	}
+	var empty Breakdown
+	if empty.Fraction("x") != 0 {
+		t.Error("empty breakdown fraction nonzero")
+	}
+}

@@ -1,0 +1,19 @@
+package bandwidth_test
+
+import (
+	"fmt"
+
+	"quest/internal/bandwidth"
+)
+
+// ExampleBytesPerSec formats rates across the paper's eight orders of
+// magnitude.
+func ExampleBytesPerSec() {
+	fmt.Println(bandwidth.BytesPerSec(100e12)) // the Figure 2 wall
+	fmt.Println(bandwidth.BytesPerSec(3.4e6))  // a QuEST+cache stream
+	fmt.Printf("%.1f orders apart\n", bandwidth.OrdersOfMagnitude(100e12, 3.4e6))
+	// Output:
+	// 100 TB/s
+	// 3.4 MB/s
+	// 7.5 orders apart
+}

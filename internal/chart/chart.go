@@ -1,0 +1,88 @@
+// Package chart renders horizontal bar charts in plain text, with optional
+// log₁₀ scaling — the figure-shaped view of the evaluation data. The paper's
+// evaluation figures are log-scale bar charts; questbench uses this package
+// to print them next to the raw tables.
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Options controls rendering.
+type Options struct {
+	// Width is the maximum bar width in runes (default 50).
+	Width int
+	// Log scales bars by log₁₀ (all values must be ≥ 1).
+	Log bool
+	// Unit is appended to the printed values (e.g. "x", " B/s").
+	Unit string
+}
+
+// Render draws the chart. Bars are drawn with '█' and annotated with their
+// numeric value (log annotations as 10^k).
+func Render(bars []Bar, opts Options) (string, error) {
+	if len(bars) == 0 {
+		return "", fmt.Errorf("chart: no bars")
+	}
+	width := opts.Width
+	if width <= 0 {
+		width = 50
+	}
+	labelW := 0
+	maxV := math.Inf(-1)
+	for _, b := range bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+		v := b.Value
+		if opts.Log {
+			if v < 1 {
+				return "", fmt.Errorf("chart: log scale requires values ≥ 1, got %v (%s)", v, b.Label)
+			}
+			v = math.Log10(v)
+		} else if v < 0 {
+			return "", fmt.Errorf("chart: negative value %v (%s)", b.Value, b.Label)
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bars {
+		v := b.Value
+		if opts.Log {
+			v = math.Log10(v)
+		}
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(v / maxV * float64(width)))
+		}
+		if n == 0 && v > 0 {
+			n = 1
+		}
+		annot := fmt.Sprintf("%.3g%s", b.Value, opts.Unit)
+		if opts.Log {
+			annot = fmt.Sprintf("10^%.1f%s", v, opts.Unit)
+		}
+		fmt.Fprintf(&sb, "%-*s |%s%s %s\n",
+			labelW, b.Label, strings.Repeat("█", n), strings.Repeat(" ", width-n), annot)
+	}
+	return sb.String(), nil
+}
+
+// MustRender panics on error (for callers with statically valid data).
+func MustRender(bars []Bar, opts Options) string {
+	s, err := Render(bars, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

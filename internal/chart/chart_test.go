@@ -1,0 +1,91 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderLinear(t *testing.T) {
+	out, err := Render([]Bar{{"a", 10}, {"bb", 5}, {"c", 0}}, Options{Width: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], strings.Repeat("█", 10)) {
+		t.Errorf("max bar not full width: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], strings.Repeat("█", 5)) {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "█") {
+		t.Errorf("zero bar drew blocks: %q", lines[2])
+	}
+	// Labels aligned.
+	if !strings.HasPrefix(lines[0], "a  |") || !strings.HasPrefix(lines[1], "bb |") {
+		t.Errorf("labels misaligned:\n%s", out)
+	}
+}
+
+func TestRenderLog(t *testing.T) {
+	out, err := Render([]Bar{{"small", 1e2}, {"big", 1e8}}, Options{Width: 40, Log: true, Unit: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "10^2.0x") || !strings.Contains(out, "10^8.0x") {
+		t.Errorf("log annotations missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	smallBlocks := strings.Count(lines[0], "█")
+	bigBlocks := strings.Count(lines[1], "█")
+	if bigBlocks != 40 || smallBlocks != 10 {
+		t.Errorf("log proportions: small=%d big=%d, want 10/40", smallBlocks, bigBlocks)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(nil, Options{}); err == nil {
+		t.Error("empty chart accepted")
+	}
+	if _, err := Render([]Bar{{"x", 0.5}}, Options{Log: true}); err == nil {
+		t.Error("sub-1 log value accepted")
+	}
+	if _, err := Render([]Bar{{"x", -3}}, Options{}); err == nil {
+		t.Error("negative value accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRender did not panic")
+		}
+	}()
+	MustRender(nil, Options{})
+}
+
+func TestPropertyRenderNeverOverflows(t *testing.T) {
+	f := func(vals []uint32, widthRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		width := 1 + int(widthRaw)%120
+		bars := make([]Bar, len(vals))
+		for i, v := range vals {
+			bars[i] = Bar{Label: "b", Value: float64(v)}
+		}
+		out, err := Render(bars, Options{Width: width})
+		if err != nil {
+			return false
+		}
+		for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+			if n := strings.Count(line, "█"); n > width {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package clifford_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quest/internal/clifford"
+)
+
+// ExampleNew builds a Bell pair and shows measurement correlation — the
+// substrate every QECC cycle in this repository executes on.
+func ExampleNew() {
+	t := clifford.New(2, rand.New(rand.NewSource(42)))
+	t.H(0)
+	t.CNOT(0, 1)
+	a := t.MeasureZ(0)
+	b := t.MeasureZ(1)
+	fmt.Println("correlated:", a == b)
+	// Output:
+	// correlated: true
+}
+
+// ExampleTableau_MeasureObservable checks a GHZ state's stabilizers without
+// disturbing it.
+func ExampleTableau_MeasureObservable() {
+	t := clifford.New(3, rand.New(rand.NewSource(1)))
+	t.H(0)
+	t.CNOT(0, 1)
+	t.CNOT(0, 2)
+	fmt.Println("X0X1X2 =", t.MeasureObservable([]int{0, 1, 2}, nil))
+	fmt.Println("Z0Z1   =", t.MeasureObservable(nil, []int{0, 1}))
+	fmt.Println("Z0     =", t.MeasureObservable(nil, []int{0}), "(0 means random)")
+	// Output:
+	// X0X1X2 = 1
+	// Z0Z1   = 1
+	// Z0     = 0 (0 means random)
+}

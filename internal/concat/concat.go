@@ -1,0 +1,188 @@
+// Package concat implements the paper's §9 extension: QuEST with
+// concatenated codes, where the first level (inner code) is handled by the
+// MCE microcode and the higher-level (outer code) concatenations are handled
+// by software. The inner code here is the surface code the rest of the
+// repository implements; the outer code is the [[7,1,3]] Steane code applied
+// recursively.
+//
+// The package models the instruction economics of that split: outer-code
+// syndrome extraction is an ordinary *logical* circuit over inner logical
+// qubits, so it rides the master→MCE bus as 2-byte logical instructions
+// (and, having deterministic control flow, it is cacheable exactly like the
+// distillation loops) — while the inner code's physical QECC never leaves
+// the MCE.
+package concat
+
+import (
+	"fmt"
+	"math"
+
+	"quest/internal/isa"
+)
+
+// Steane [[7,1,3]] code parameters.
+const (
+	// BlockSize is the number of inner logical qubits per outer level.
+	BlockSize = 7
+	// stabilizers per block: 3 X-type and 3 Z-type, weight 4 each.
+	numStabilizers   = 6
+	stabilizerWeight = 4
+)
+
+// steaneStabilizers lists the qubit supports of the six [[7,1,3]]
+// generators (the Hamming-code parity checks), reused for both X and Z type.
+var steaneStabilizers = [3][stabilizerWeight]int{
+	{0, 2, 4, 6},
+	{1, 2, 5, 6},
+	{3, 4, 5, 6},
+}
+
+// Scheme is a concatenation scheme: Levels outer Steane levels over the
+// microcode-managed inner surface code.
+type Scheme struct {
+	// Levels is the number of outer concatenation levels (0 = plain QuEST).
+	Levels int
+	// InnerErrorRate is the logical error rate per round the inner surface
+	// code delivers (the input to the outer recursion).
+	InnerErrorRate float64
+}
+
+// Validate checks the scheme is usable.
+func (s Scheme) Validate() error {
+	if s.Levels < 0 || s.Levels > 8 {
+		return fmt.Errorf("concat: levels %d outside [0,8]", s.Levels)
+	}
+	if s.InnerErrorRate <= 0 || s.InnerErrorRate >= 1 {
+		return fmt.Errorf("concat: inner error rate %v outside (0,1)", s.InnerErrorRate)
+	}
+	return nil
+}
+
+// InnerQubitsPerLogical returns how many inner (surface-code) logical qubits
+// one top-level logical qubit consumes: 7^Levels.
+func (s Scheme) InnerQubitsPerLogical() int {
+	n := 1
+	for i := 0; i < s.Levels; i++ {
+		n *= BlockSize
+	}
+	return n
+}
+
+// steaneThreshold is the concatenation threshold constant: one level maps
+// p → C·p², so error suppression is doubly exponential below 1/C.
+const steaneThreshold = 1.0 / 2.5e-2 // C = 40
+
+// LogicalErrorRate returns the top-level logical error rate after the outer
+// recursion.
+func (s Scheme) LogicalErrorRate() float64 {
+	p := s.InnerErrorRate
+	for i := 0; i < s.Levels; i++ {
+		p = p * p * steaneThreshold
+		if p > 1 {
+			p = 1
+		}
+	}
+	return p
+}
+
+// ECGadget generates the deterministic logical instruction sequence of one
+// outer-level Steane error-correction round on one block: for each of the
+// six stabilizers, prepare an ancilla block qubit, four CNOTs into/out of
+// the support, and measure. Qubits 0..6 are the data block; qubit 7 is the
+// ancilla. Like the distillation loops, this sequence has deterministic
+// control flow and lives happily in the MCE's logical instruction cache.
+func ECGadget() []isa.LogicalInstr {
+	const ancilla = BlockSize
+	var prog []isa.LogicalInstr
+	emit := func(op isa.LogicalOpcode, target, arg uint8) {
+		prog = append(prog, isa.LogicalInstr{Op: op, Target: target, Arg: arg})
+	}
+	// Z-type checks: ancilla |0>, data-controlled CNOTs, measure Z.
+	for _, stab := range steaneStabilizers {
+		emit(isa.LPrep0, ancilla, 0)
+		for _, q := range stab {
+			emit(isa.LCNOT, uint8(q), ancilla)
+		}
+		emit(isa.LMeasZ, ancilla, 0)
+	}
+	// X-type checks: ancilla |+>, ancilla-controlled CNOTs, measure X.
+	for _, stab := range steaneStabilizers {
+		emit(isa.LPrepPlus, ancilla, 0)
+		for _, q := range stab {
+			emit(isa.LCNOT, ancilla, uint8(q))
+		}
+		emit(isa.LMeasX, ancilla, 0)
+	}
+	return prog
+}
+
+// ECGadgetInstrs is the length of one outer EC round's instruction sequence.
+var ECGadgetInstrs = len(ECGadget())
+
+// OuterInstrsPerRound returns the logical instructions one top-level qubit's
+// outer correction costs per outer round: every level-k block of its tree
+// runs the EC gadget, and a level-k gadget instruction is itself expanded
+// into level-(k-1) blocks' worth of instructions... but only the *bottom*
+// outer level issues instructions over the bus — higher levels' transversal
+// gates fan out within software before dispatch. The bus traffic per round
+// is therefore gadget length × number of bottom-level blocks.
+func (s Scheme) OuterInstrsPerRound() int {
+	if s.Levels == 0 {
+		return 0
+	}
+	blocks := 1
+	for i := 0; i < s.Levels-1; i++ {
+		blocks *= BlockSize
+	}
+	// Each level contributes its own gadget sweep over its blocks: level k
+	// has 7^(k-1) blocks.
+	total := 0
+	b := blocks
+	for lvl := s.Levels; lvl >= 1; lvl-- {
+		total += b * ECGadgetInstrs
+		b /= BlockSize
+	}
+	return total
+}
+
+// BusBytesPerRound returns the master→MCE bytes per outer round per
+// top-level logical qubit, uncached and with the EC gadget cached (one
+// LCacheRun token per block replay).
+func (s Scheme) BusBytesPerRound() (uncached, cached int) {
+	instrs := s.OuterInstrsPerRound()
+	uncached = instrs * isa.LogicalInstrBytes
+	if instrs == 0 {
+		return 0, 0
+	}
+	replays := instrs / ECGadgetInstrs
+	cached = replays * isa.LogicalInstrBytes
+	return uncached, cached
+}
+
+// SoftwareInnerBytesPerRound returns what the same round would cost if the
+// *inner* code were also software-managed: every inner logical qubit's
+// physical QECC µops cross the bus. innerPhysPerLogical is the physical
+// qubit count per inner logical qubit (12.5·d²) and depth the QECC schedule
+// depth; roundsPerOuter is how many inner rounds one outer round spans.
+func (s Scheme) SoftwareInnerBytesPerRound(innerPhysPerLogical, depth, roundsPerOuter int) float64 {
+	inner := float64(s.InnerQubitsPerLogical())
+	return inner * float64(innerPhysPerLogical) * float64(depth) * float64(roundsPerOuter)
+}
+
+// Savings returns the bus-traffic reduction of the paper's split (inner in
+// microcode, outer in software, cached) against full software management.
+func (s Scheme) Savings(innerPhysPerLogical, depth, roundsPerOuter int) float64 {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	sw := s.SoftwareInnerBytesPerRound(innerPhysPerLogical, depth, roundsPerOuter)
+	uncached, cached := s.BusBytesPerRound()
+	hw := float64(cached)
+	if s.Levels == 0 {
+		// Plain QuEST: only sync-level traffic remains; normalize to one
+		// token per round so the ratio stays finite.
+		hw = float64(isa.LogicalInstrBytes)
+	}
+	_ = uncached
+	return (sw + float64(uncached)) / (hw + math.SmallestNonzeroFloat64)
+}

@@ -1,0 +1,164 @@
+package concat
+
+import (
+	"testing"
+
+	"quest/internal/isa"
+)
+
+func TestSchemeValidate(t *testing.T) {
+	if err := (Scheme{Levels: 2, InnerErrorRate: 1e-6}).Validate(); err != nil {
+		t.Errorf("valid scheme rejected: %v", err)
+	}
+	bad := []Scheme{
+		{Levels: -1, InnerErrorRate: 1e-6},
+		{Levels: 9, InnerErrorRate: 1e-6},
+		{Levels: 1, InnerErrorRate: 0},
+		{Levels: 1, InnerErrorRate: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestInnerQubitGrowth(t *testing.T) {
+	for levels, want := range map[int]int{0: 1, 1: 7, 2: 49, 3: 343} {
+		s := Scheme{Levels: levels, InnerErrorRate: 1e-6}
+		if got := s.InnerQubitsPerLogical(); got != want {
+			t.Errorf("levels %d: inner qubits = %d, want %d", levels, got, want)
+		}
+	}
+}
+
+func TestErrorSuppressionDoublyExponential(t *testing.T) {
+	p := 1e-6
+	prev := p
+	for levels := 1; levels <= 3; levels++ {
+		s := Scheme{Levels: levels, InnerErrorRate: p}
+		got := s.LogicalErrorRate()
+		if got >= prev {
+			t.Fatalf("level %d: rate %v not below previous %v", levels, got, prev)
+		}
+		// Each level squares the error (times the constant).
+		want := prev * prev * steaneThreshold
+		if got != want {
+			t.Errorf("level %d: rate %v, want %v", levels, got, want)
+		}
+		prev = got
+	}
+	// Above threshold the recursion saturates instead of exploding.
+	hot := Scheme{Levels: 4, InnerErrorRate: 0.5}
+	if got := hot.LogicalErrorRate(); got != 1 {
+		t.Errorf("above-threshold rate = %v, want saturation at 1", got)
+	}
+}
+
+func TestECGadgetShape(t *testing.T) {
+	prog := ECGadget()
+	if len(prog) != ECGadgetInstrs {
+		t.Fatal("ECGadgetInstrs stale")
+	}
+	// 6 stabilizers × (prep + 4 CNOTs + measure) = 36 instructions.
+	if len(prog) != numStabilizers*(2+stabilizerWeight) {
+		t.Fatalf("gadget length = %d", len(prog))
+	}
+	counts := map[isa.LogicalOpcode]int{}
+	for _, in := range prog {
+		counts[in.Op]++
+		if int(in.Target) > BlockSize || int(in.Arg) > BlockSize {
+			t.Fatalf("instruction %v outside block", in)
+		}
+	}
+	if counts[isa.LCNOT] != numStabilizers*stabilizerWeight {
+		t.Errorf("CNOTs = %d", counts[isa.LCNOT])
+	}
+	if counts[isa.LMeasZ] != 3 || counts[isa.LMeasX] != 3 {
+		t.Errorf("measurements = %d/%d", counts[isa.LMeasZ], counts[isa.LMeasX])
+	}
+	// Deterministic (cacheable).
+	again := ECGadget()
+	for i := range prog {
+		if prog[i] != again[i] {
+			t.Fatal("gadget not deterministic")
+		}
+	}
+	// Every stabilizer weight is 4 and supports overlap pairwise evenly
+	// (CSS commutation).
+	for i, a := range steaneStabilizers {
+		for j, b := range steaneStabilizers {
+			if i == j {
+				continue
+			}
+			overlap := 0
+			for _, qa := range a {
+				for _, qb := range b {
+					if qa == qb {
+						overlap++
+					}
+				}
+			}
+			if overlap%2 != 0 {
+				t.Errorf("stabilizers %d,%d overlap %d (odd)", i, j, overlap)
+			}
+		}
+	}
+}
+
+func TestOuterInstrScaling(t *testing.T) {
+	p := 1e-6
+	if got := (Scheme{Levels: 0, InnerErrorRate: p}).OuterInstrsPerRound(); got != 0 {
+		t.Errorf("level 0 outer instrs = %d", got)
+	}
+	l1 := (Scheme{Levels: 1, InnerErrorRate: p}).OuterInstrsPerRound()
+	if l1 != ECGadgetInstrs {
+		t.Errorf("level 1 = %d, want one gadget (%d)", l1, ECGadgetInstrs)
+	}
+	l2 := (Scheme{Levels: 2, InnerErrorRate: p}).OuterInstrsPerRound()
+	// Level 2: 7 level-1 blocks + 1 level-2 block = 8 gadgets.
+	if l2 != 8*ECGadgetInstrs {
+		t.Errorf("level 2 = %d, want %d", l2, 8*ECGadgetInstrs)
+	}
+}
+
+func TestCachingCollapsesOuterTraffic(t *testing.T) {
+	s := Scheme{Levels: 2, InnerErrorRate: 1e-6}
+	uncached, cached := s.BusBytesPerRound()
+	if uncached <= cached {
+		t.Fatalf("caching did not help: %d vs %d", uncached, cached)
+	}
+	if ratio := float64(uncached) / float64(cached); ratio < float64(ECGadgetInstrs)-1 {
+		t.Errorf("cache compression %.1fx, want ≈ gadget length %d", ratio, ECGadgetInstrs)
+	}
+	z0, z0c := (Scheme{Levels: 0, InnerErrorRate: 1e-6}).BusBytesPerRound()
+	if z0 != 0 || z0c != 0 {
+		t.Errorf("level 0 traffic = %d/%d", z0, z0c)
+	}
+}
+
+func TestHybridSavingsStayLarge(t *testing.T) {
+	// Even with two outer levels of software-managed correction, keeping
+	// the inner code in microcode preserves multiple orders of magnitude:
+	// the inner physical stream dwarfs the outer logical stream.
+	innerPhys := 2112 // 12.5·d² at d=13
+	for levels := 0; levels <= 3; levels++ {
+		s := Scheme{Levels: levels, InnerErrorRate: 1e-9}
+		savings := s.Savings(innerPhys, 9, 13)
+		if savings < 1e3 {
+			t.Errorf("levels %d: hybrid savings %.0f below 10³", levels, savings)
+		}
+	}
+	// More levels cost more outer traffic: savings must decline.
+	s1 := Scheme{Levels: 1, InnerErrorRate: 1e-9}.Savings(innerPhys, 9, 13)
+	s3 := Scheme{Levels: 3, InnerErrorRate: 1e-9}.Savings(innerPhys, 9, 13)
+	if s3 >= s1 {
+		t.Errorf("savings did not decline with levels: %v vs %v", s1, s3)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid scheme accepted")
+		}
+	}()
+	Scheme{Levels: -1, InnerErrorRate: 1e-9}.Savings(100, 9, 13)
+}

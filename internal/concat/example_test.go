@@ -1,0 +1,21 @@
+package concat_test
+
+import (
+	"fmt"
+
+	"quest/internal/concat"
+)
+
+// ExampleScheme evaluates the §9 hybrid: microcode-managed inner surface
+// code under two software-managed outer Steane levels.
+func ExampleScheme() {
+	s := concat.Scheme{Levels: 2, InnerErrorRate: 1e-9}
+	fmt.Println("inner logical qubits per top-level qubit:", s.InnerQubitsPerLogical())
+	fmt.Printf("top-level error rate: %.1e\n", s.LogicalErrorRate())
+	uncached, cached := s.BusBytesPerRound()
+	fmt.Println("outer EC bus bytes/round:", uncached, "uncached,", cached, "cached")
+	// Output:
+	// inner logical qubits per top-level qubit: 49
+	// top-level error rate: 6.4e-32
+	// outer EC bus bytes/round: 576 uncached, 16 cached
+}

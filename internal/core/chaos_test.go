@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"quest/internal/compiler"
+	"quest/internal/noise"
+)
+
+// TestPropertyMachineAlwaysDrains: arbitrary valid programs on arbitrary
+// small machine shapes, with and without noise, never panic, always drain,
+// and retire exactly the dispatched instruction count.
+func TestPropertyMachineAlwaysDrains(t *testing.T) {
+	f := func(seed int64, ops []uint8, shape uint8, noisy bool) bool {
+		cfg := DefaultMachineConfig()
+		cfg.Tiles = 1 + int(shape)%2
+		cfg.PatchesPerTile = 2 + int(shape/2)%2
+		cfg.Seed = seed
+		if noisy {
+			nm := noise.Uniform(5e-4)
+			cfg.Noise = &nm
+		}
+		nLogical := cfg.Tiles * cfg.PatchesPerTile
+		m := NewMachine(cfg)
+		p := compiler.NewProgram(nLogical)
+		rng := rand.New(rand.NewSource(seed))
+		if len(ops) > 40 {
+			ops = ops[:40]
+		}
+		for _, b := range ops {
+			q := int(b) % nLogical
+			switch b % 7 {
+			case 0:
+				p.Prep0(q)
+			case 1:
+				p.PrepPlus(q)
+			case 2:
+				p.H(q)
+			case 3:
+				p.X(q)
+			case 4:
+				p.T(q)
+			case 5:
+				p.MeasZ(q)
+			default:
+				// Same-tile CNOT partner.
+				tile := q / cfg.PatchesPerTile
+				part := tile*cfg.PatchesPerTile + (q+1)%cfg.PatchesPerTile
+				if part != q {
+					p.CNOT(q, part)
+				} else {
+					p.Z(q)
+				}
+			}
+		}
+		_ = rng
+		rep, err := m.RunProgram(p, 50_000)
+		if err != nil {
+			return false
+		}
+		if !rep.Drained {
+			return false
+		}
+		return rep.LogicalRetired == len(p.Instrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMachineDeterminism: identical seeds give byte-identical traffic and
+// results; different seeds may differ in measurement outcomes but never in
+// traffic (the instruction stream is data-independent — the determinism
+// property of §3.4).
+func TestMachineDeterminism(t *testing.T) {
+	run := func(seed int64) RunReport {
+		cfg := DefaultMachineConfig()
+		cfg.Seed = seed
+		nm := noise.Uniform(1e-3)
+		cfg.Noise = &nm
+		m := NewMachine(cfg)
+		p := compiler.NewProgram(2)
+		p.Prep0(0).PrepPlus(1).H(0).CNOT(0, 1).MeasZ(0).MeasX(1)
+		rep, err := m.RunProgram(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a1, a2 := run(7), run(7)
+	if a1.BaselineBusBytes != a2.BaselineBusBytes || a1.QuESTBusBytes != a2.QuESTBusBytes {
+		t.Error("identical seeds gave different traffic")
+	}
+	if len(a1.Results) != len(a2.Results) {
+		t.Fatal("identical seeds gave different result counts")
+	}
+	for i := range a1.Results {
+		if a1.Results[i] != a2.Results[i] {
+			t.Error("identical seeds gave different measurement outcomes")
+		}
+	}
+	b := run(99)
+	if a1.QuESTBusBytes != b.QuESTBusBytes {
+		t.Error("instruction traffic depended on the noise seed")
+	}
+	if a1.BaselineBusBytes != b.BaselineBusBytes {
+		t.Error("µop cadence depended on the noise seed")
+	}
+}

@@ -1,0 +1,172 @@
+package decoder
+
+import (
+	"math/rand"
+	"testing"
+
+	"quest/internal/surface"
+)
+
+func TestUnionFindEmptyAndSingle(t *testing.T) {
+	lat := surface.NewPlanar(5)
+	uf := NewUnionFindDecoder(lat)
+	if m := uf.Match(nil); len(m.Pairs)+len(m.ToBoundary) != 0 {
+		t.Errorf("empty input matched: %+v", m)
+	}
+	// A lone defect must end at the boundary.
+	d := mkDefect(lat, lat.Index(1, 0), 1)
+	m := uf.Match([]Defect{d})
+	if len(m.ToBoundary) != 1 || len(m.Pairs) != 0 {
+		t.Errorf("single defect: %+v", m)
+	}
+}
+
+func TestUnionFindPairsAdjacentDefects(t *testing.T) {
+	lat := surface.NewPlanar(5)
+	uf := NewUnionFindDecoder(lat)
+	d1 := mkDefect(lat, lat.Index(3, 4), 1)
+	d2 := mkDefect(lat, lat.Index(5, 4), 1)
+	m := uf.Match([]Defect{d1, d2})
+	if len(m.Pairs) != 1 || len(m.ToBoundary) != 0 {
+		t.Fatalf("adjacent pair: %+v", m)
+	}
+	if m.Weight != 1 {
+		t.Errorf("weight = %d, want 1", m.Weight)
+	}
+}
+
+func TestUnionFindTimePairNoCorrections(t *testing.T) {
+	lat := surface.NewPlanar(5)
+	uf := NewUnionFindDecoder(lat)
+	a := lat.Index(3, 4)
+	ds := []Defect{mkDefect(lat, a, 2), mkDefect(lat, a, 3)}
+	m := uf.Match(ds)
+	if len(m.Pairs) != 1 {
+		t.Fatalf("time pair: %+v", m)
+	}
+	if corr := uf.Corrections(ds, m); len(corr) != 0 {
+		t.Errorf("measurement-error pair produced %d corrections", len(corr))
+	}
+}
+
+func TestUnionFindMatchesEverything(t *testing.T) {
+	// Every defect must end up either paired or at the boundary, for random
+	// defect sets of both types.
+	lat := surface.NewPlanar(7)
+	uf := NewUnionFindDecoder(lat)
+	rng := rand.New(rand.NewSource(3))
+	for _, role := range []surface.Role{surface.RoleAncillaZ, surface.RoleAncillaX} {
+		as := lat.Qubits(role)
+		for trial := 0; trial < 60; trial++ {
+			nd := 1 + rng.Intn(9)
+			seen := map[int]bool{}
+			var ds []Defect
+			for len(ds) < nd {
+				q := as[rng.Intn(len(as))]
+				if seen[q] {
+					continue
+				}
+				seen[q] = true
+				ds = append(ds, mkDefect(lat, q, rng.Intn(4)))
+			}
+			m := uf.Match(ds)
+			covered := map[int]int{}
+			for _, p := range m.Pairs {
+				covered[p[0]]++
+				covered[p[1]]++
+			}
+			for _, i := range m.ToBoundary {
+				covered[i]++
+			}
+			for i := range ds {
+				if covered[i] != 1 {
+					t.Fatalf("%s trial %d: defect %d covered %d times", role, trial, i, covered[i])
+				}
+			}
+			if err := ChainIsValid(lat, uf.Corrections(ds, m)); err != nil {
+				t.Fatalf("%s trial %d: %v", role, trial, err)
+			}
+		}
+	}
+}
+
+func TestUnionFindNeverBeatsExact(t *testing.T) {
+	// Union-find is approximate: its weight must be ≥ the exact matcher's,
+	// and within a small constant factor on random instances.
+	lat := surface.NewPlanar(7)
+	uf := NewUnionFindDecoder(lat)
+	g := NewGlobalDecoder(lat)
+	rng := rand.New(rand.NewSource(11))
+	zs := lat.Qubits(surface.RoleAncillaZ)
+	worst := 1.0
+	for trial := 0; trial < 80; trial++ {
+		nd := 2 + rng.Intn(6)
+		seen := map[int]bool{}
+		var ds []Defect
+		for len(ds) < nd {
+			q := zs[rng.Intn(len(zs))]
+			if seen[q] {
+				continue
+			}
+			seen[q] = true
+			ds = append(ds, mkDefect(lat, q, 0))
+		}
+		exact := g.exactMatch(ds)
+		approx := uf.Match(ds)
+		if approx.Weight < exact.Weight {
+			t.Fatalf("trial %d: union-find weight %d beats exact %d", trial, approx.Weight, exact.Weight)
+		}
+		if exact.Weight > 0 {
+			if ratio := float64(approx.Weight) / float64(exact.Weight); ratio > worst {
+				worst = ratio
+			}
+		}
+	}
+	if worst > 2.5 {
+		t.Errorf("union-find up to %.2fx worse than exact — clustering broken", worst)
+	}
+}
+
+func TestUnionFindRejectsMixedTypes(t *testing.T) {
+	lat := surface.NewPlanar(3)
+	uf := NewUnionFindDecoder(lat)
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed types accepted")
+		}
+	}()
+	uf.Match([]Defect{
+		mkDefect(lat, lat.Qubits(surface.RoleAncillaZ)[0], 0),
+		mkDefect(lat, lat.Qubits(surface.RoleAncillaX)[0], 0),
+	})
+}
+
+// TestUnionFindEndToEndRecovery mirrors the exact-matcher end-to-end test:
+// single injected errors must be fully corrected through the union-find
+// path too.
+func TestUnionFindEndToEndRecovery(t *testing.T) {
+	lat := surface.NewPlanar(3)
+	uf := NewUnionFindDecoder(lat)
+	for _, dq := range lat.Qubits(surface.RoleData) {
+		r, c := lat.Coord(dq)
+		// Construct the Z-defect pattern an X error on dq produces.
+		var ds []Defect
+		for dir := 0; dir < 4; dir++ {
+			n := lat.Neighbor(r, c, dir)
+			if n >= 0 && lat.RoleOf(n) == surface.RoleAncillaZ {
+				ds = append(ds, mkDefect(lat, n, 1))
+			}
+		}
+		m := uf.Match(ds)
+		corr := uf.Corrections(ds, m)
+		frame := NewPauliFrame()
+		frame.Apply(Correction{Qubit: dq, FlipX: true}) // the injected error
+		for _, cr := range corr {
+			frame.Apply(cr)
+		}
+		// Error plus correction must act trivially on the logical Z parity.
+		if p := frame.ParityOn(lat.LogicalZ(), true); p != 0 {
+			t.Errorf("data %d: union-find correction leaves logical parity %d", dq, p)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package decoder
+
+// WindowDecoder implements the space-time decoding the paper describes in
+// Appendix A.2: syndrome changes are accumulated over a window of rounds and
+// matched jointly, so that measurement errors (time-like defect pairs) and
+// multi-round error chains are paired correctly instead of being forced to a
+// boundary round by round. The two-level split is preserved: a LocalDecoder
+// may still strip isolated single-error patterns per round before defects
+// enter the window.
+type WindowDecoder struct {
+	global Matcher
+	// WindowRounds is the number of rounds batched per decode; the usual
+	// choice is the code distance.
+	WindowRounds int
+
+	buf        []Defect
+	sinceFlush int
+}
+
+// Matcher is the matching stage both global decoders implement, letting the
+// window (and the master controller) swap MWPM for union-find.
+type Matcher interface {
+	Match(defects []Defect) Matching
+	Corrections(defects []Defect, m Matching) []Correction
+}
+
+var (
+	_ Matcher = (*GlobalDecoder)(nil)
+	_ Matcher = (*UnionFindDecoder)(nil)
+)
+
+// NewWindowDecoder wraps a matcher with a window of the given number
+// of rounds (values below 1 are clamped to 1, which degenerates to per-round
+// decoding).
+func NewWindowDecoder(global Matcher, windowRounds int) *WindowDecoder {
+	if windowRounds < 1 {
+		windowRounds = 1
+	}
+	return &WindowDecoder{global: global, WindowRounds: windowRounds}
+}
+
+// Pending returns the number of buffered defects.
+func (w *WindowDecoder) Pending() int { return len(w.buf) }
+
+// Absorb buffers one round's defects and decodes into the frame when the
+// window fills. It returns the number of corrections applied (zero while the
+// window is still open).
+func (w *WindowDecoder) Absorb(defects []Defect, frame *PauliFrame) int {
+	w.buf = append(w.buf, defects...)
+	w.sinceFlush++
+	if w.sinceFlush < w.WindowRounds {
+		return 0
+	}
+	return w.Flush(frame)
+}
+
+// Flush decodes everything buffered regardless of window occupancy (used at
+// the end of a computation or before a logical measurement that must see a
+// settled frame).
+func (w *WindowDecoder) Flush(frame *PauliFrame) int {
+	w.sinceFlush = 0
+	if len(w.buf) == 0 {
+		return 0
+	}
+	applied := 0
+	byType := map[bool][]Defect{}
+	for _, d := range w.buf {
+		byType[d.IsX] = append(byType[d.IsX], d)
+	}
+	w.buf = w.buf[:0]
+	for _, group := range byType {
+		m := w.global.Match(group)
+		for _, c := range w.global.Corrections(group, m) {
+			frame.Apply(c)
+			applied++
+		}
+	}
+	return applied
+}

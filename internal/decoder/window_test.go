@@ -1,0 +1,116 @@
+package decoder
+
+import (
+	"math/rand"
+	"testing"
+
+	"quest/internal/awg"
+	"quest/internal/clifford"
+	"quest/internal/isa"
+	"quest/internal/noise"
+	"quest/internal/surface"
+)
+
+func TestWindowBuffersUntilFull(t *testing.T) {
+	lat := surface.NewPlanar(5)
+	w := NewWindowDecoder(NewGlobalDecoder(lat), 3)
+	frame := NewPauliFrame()
+	a := lat.Index(3, 4)
+	d1 := mkDefect(lat, a, 1)
+	if n := w.Absorb([]Defect{d1}, frame); n != 0 {
+		t.Fatalf("window decoded early: %d", n)
+	}
+	if w.Pending() != 1 {
+		t.Fatalf("pending = %d", w.Pending())
+	}
+	// Same ancilla next round: the measurement-error pair must cancel with
+	// zero corrections once the window closes.
+	d2 := mkDefect(lat, a, 2)
+	w.Absorb([]Defect{d2}, frame)
+	n := w.Absorb(nil, frame) // third round closes the window
+	if n != 0 {
+		t.Errorf("time-like pair produced %d corrections, want 0", n)
+	}
+	if len(frame.XFlips())+len(frame.ZFlips()) != 0 {
+		t.Error("frame disturbed by measurement error")
+	}
+	if w.Pending() != 0 {
+		t.Error("window not drained")
+	}
+}
+
+func TestWindowFlushAndClamp(t *testing.T) {
+	lat := surface.NewPlanar(3)
+	w := NewWindowDecoder(NewGlobalDecoder(lat), 0) // clamps to 1
+	if w.WindowRounds != 1 {
+		t.Errorf("window = %d, want clamped 1", w.WindowRounds)
+	}
+	frame := NewPauliFrame()
+	if n := w.Flush(frame); n != 0 {
+		t.Errorf("empty flush produced %d corrections", n)
+	}
+	// Window 1 behaves like per-round decoding.
+	d := mkDefect(lat, lat.Index(1, 0), 1)
+	if n := w.Absorb([]Defect{d}, frame); n == 0 {
+		t.Error("window-1 did not decode immediately")
+	}
+}
+
+// windowedFailRate runs the full path with window = distance rounds.
+func windowedFailRate(t *testing.T, d int, p float64, trials int) float64 {
+	t.Helper()
+	lat := surface.NewPlanar(d)
+	words := surface.CompileCycle(lat, surface.Steane, nil)
+	failures := 0
+	for trial := 0; trial < trials; trial++ {
+		tb := clifford.New(lat.NumQubits(), rand.New(rand.NewSource(int64(trial)+1)))
+		inj := noise.NewInjector(noise.Model{Gate1: p, Gate2: p, Idle: p, Meas: p}, int64(trial)*13+7)
+		noisy := awg.New(tb, inj)
+		clean := awg.New(tb, nil)
+		run := func(u *awg.ExecutionUnit) map[int]int {
+			synd := make(map[int]int)
+			u.MeasSink = func(q, bit int) { synd[q] = bit }
+			for _, w := range words {
+				u.ExecuteWord(w)
+			}
+			return synd
+		}
+		hist := NewHistory(lat)
+		frame := NewPauliFrame()
+		win := NewWindowDecoder(NewGlobalDecoder(lat), d)
+		run(clean)
+		hist.Absorb(run(clean))
+		for round := 0; round < 4; round++ {
+			inj.SetLocation(round, 0)
+			win.Absorb(hist.Absorb(run(noisy)), frame)
+		}
+		win.Absorb(hist.Absorb(run(clean)), frame)
+		win.Flush(frame)
+		logZ := lat.LogicalZ()
+		raw := tb.MeasureObservable(nil, logZ)
+		want := 1 - 2*frame.ParityOn(logZ, true)
+		if raw != 0 && raw != want {
+			failures++
+		}
+	}
+	_ = isa.OpIdle
+	return float64(failures) / float64(trials)
+}
+
+// TestDistanceSuppressionWithWindowedDecode is the qualitative threshold
+// result: below threshold, distance 5 must not fail more than distance 3.
+func TestDistanceSuppressionWithWindowedDecode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const p = 1e-3
+	const trials = 250
+	f3 := windowedFailRate(t, 3, p, trials)
+	f5 := windowedFailRate(t, 5, p, trials)
+	if f5 > f3 {
+		t.Errorf("d=5 fail rate %.4f exceeds d=3 rate %.4f below threshold", f5, f3)
+	}
+	if f3 > 0.1 {
+		t.Errorf("d=3 fail rate %.4f implausibly high at p=%.0e", f3, p)
+	}
+}

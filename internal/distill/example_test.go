@@ -1,0 +1,37 @@
+package distill_test
+
+import (
+	"fmt"
+
+	"quest/internal/distill"
+)
+
+// ExampleRoundsNeeded shows the 15-to-1 recursion planning: raw injected
+// states at 1e-3 error reach 1e-15 in two rounds.
+func ExampleRoundsNeeded() {
+	raw := distill.RawStateError(1e-4)
+	rounds, err := distill.RoundsNeeded(raw, 1e-15)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("raw error:", raw)
+	fmt.Println("rounds:", rounds)
+	fmt.Printf("cost per state: %.0f logical instructions\n", distill.InstructionsPerState(rounds))
+	// Output:
+	// raw error: 0.001
+	// rounds: 2
+	// cost per state: 1696 logical instructions
+}
+
+// ExampleRoundCircuit shows the cacheable loop body.
+func ExampleRoundCircuit() {
+	body := distill.RoundCircuit()
+	fmt.Println("instructions:", len(body))
+	fmt.Println("first:", body[0])
+	fmt.Println("deterministic: the MCE cache replays this from one load")
+	// Output:
+	// instructions: 106
+	// first: LPREP+ L0
+	// deterministic: the MCE cache replays this from one load
+}

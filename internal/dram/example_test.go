@@ -1,0 +1,24 @@
+package dram_test
+
+import (
+	"fmt"
+
+	"quest/internal/dram"
+)
+
+// ExampleStore runs the §2.2 feed analysis: can one cryo-DRAM channel feed
+// an instruction stream?
+func ExampleStore() {
+	store, err := dram.New(dram.Default77K())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	baseline := store.Feed(100e12) // 100 TB/s of physical µops
+	quest := store.Feed(5e6)       // ~5 MB/s of logical instructions
+	fmt.Println("baseline channels needed:", baseline.ChannelsNeeded)
+	fmt.Printf("QuEST utilization of one channel: %.4f%%\n", 100*quest.Utilization)
+	// Output:
+	// baseline channels needed: 7813
+	// QuEST utilization of one channel: 0.0391%
+}

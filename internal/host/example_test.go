@@ -1,0 +1,33 @@
+package host_test
+
+import (
+	"fmt"
+
+	"quest/internal/host"
+)
+
+// ExampleCompileQASM runs the whole host pipeline on textual source.
+func ExampleCompileQASM() {
+	art, err := host.CompileQASM(`
+		prep0 q0
+		prep0 q1
+		h q0
+		t q0
+		cnot q0, q1
+		measz q0
+		measz q1
+	`, 2, host.DefaultOptions())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("instructions:", len(art.Exe.Program))
+	fmt.Println("T count:", art.TCount)
+	fmt.Println("distillation bundled:", len(art.Exe.Caches) == 1)
+	fmt.Println("schedule valid:", art.Schedule.Makespan >= art.Schedule.CriticalPath)
+	// Output:
+	// instructions: 7
+	// T count: 1
+	// distillation bundled: true
+	// schedule valid: true
+}

@@ -1,0 +1,36 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"quest/internal/isa"
+)
+
+// ExampleVLIW builds one lock-step physical instruction word — the unit the
+// microcode pipeline streams every sub-cycle.
+func ExampleVLIW() {
+	w := isa.NewVLIW(4)
+	w.Set(0, isa.OpPrepPlus)
+	w.SetPair(1, isa.OpCNOTControl, 2)
+	w.SetPair(2, isa.OpCNOTTarget, 1)
+	fmt.Println("valid:", w.Validate() == nil)
+	for _, m := range w.MicroOps() {
+		fmt.Println(m)
+	}
+	// Output:
+	// valid: true
+	// PREP+ q0
+	// CNOTC q1,q2
+	// CNOTT q2,q1
+	// IDLE q3
+}
+
+// ExampleLogicalInstr_Encode shows the 2-byte wire format of the global bus.
+func ExampleLogicalInstr_Encode() {
+	in := isa.LogicalInstr{Op: isa.LCNOT, Target: 5, Arg: 9}
+	wire := in.Encode()
+	back, err := isa.DecodeLogical(wire)
+	fmt.Printf("%s -> % x -> %s (err=%v)\n", in, wire, back, err)
+	// Output:
+	// LCNOT L5,L9 -> 91 49 -> LCNOT L5,L9 (err=<nil>)
+}

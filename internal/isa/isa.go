@@ -1,0 +1,382 @@
+// Package isa defines the quantum instruction set architecture used by the
+// QuEST control processor: physical micro-operations (µops) delivered to
+// individual qubits, VLIW physical instruction words that address a whole
+// tile in lock-step, and compact 2-byte logical instructions exchanged
+// between the master controller and the MCEs.
+//
+// The encoding follows the paper's assumptions: physical µops carry a small
+// opcode (4 bits) plus, in the conventional (RAM) organization, an address
+// field of ceil(log2 N) bits for a tile of N qubits; logical instructions
+// are fixed at two bytes, matching the ion-trap ISA of Balensiefer et al.
+// that the paper adopts for its cache feasibility study.
+package isa
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Opcode identifies a physical quantum operation applied to one qubit in one
+// sub-cycle. The set covers the universal gates plus the syndrome-extraction
+// helpers used by surface-code QECC cycles. Opcodes fit in 4 bits, the width
+// the paper assumes when sizing microcode memories.
+type Opcode uint8
+
+const (
+	// OpIdle leaves the qubit untouched for one sub-cycle. Surface-code
+	// schedules pad with Idle so every qubit receives exactly one µop per
+	// sub-cycle (the "no qubit remains idle" lock-step rule: idling is an
+	// explicit instruction, not an absence of one).
+	OpIdle Opcode = iota
+	// OpPrep0 initializes the qubit to |0>.
+	OpPrep0
+	// OpPrep1 initializes the qubit to |1>.
+	OpPrep1
+	// OpPrepPlus initializes the qubit to |+> (Hadamard basis zero).
+	OpPrepPlus
+	// OpMeasZ measures the qubit in the Z basis, destroying superposition.
+	OpMeasZ
+	// OpMeasX measures the qubit in the X basis.
+	OpMeasX
+	// OpX applies the Pauli-X (bit flip) gate.
+	OpX
+	// OpY applies the Pauli-Y gate.
+	OpY
+	// OpZ applies the Pauli-Z (phase flip) gate.
+	OpZ
+	// OpH applies the Hadamard gate.
+	OpH
+	// OpS applies the phase gate S = diag(1, i).
+	OpS
+	// OpSDagger applies the inverse phase gate.
+	OpSDagger
+	// OpT applies the T gate (π/8 rotation). Non-Clifford: physically it is
+	// realized via magic-state injection, but it appears as a primitive in
+	// instruction streams and resource accounting.
+	OpT
+	// OpCNOTControl marks the qubit as the control of a CNOT whose target is
+	// carried by the pairing convention of the schedule (see Pair field of
+	// PhysInstr). The control/target split keeps µops single-qubit-addressed
+	// as required by the switch-matrix execution model.
+	OpCNOTControl
+	// OpCNOTTarget marks the qubit as the target of a CNOT.
+	OpCNOTTarget
+	// OpCZ applies a symmetric controlled-Z with the paired qubit.
+	OpCZ
+
+	// NumOpcodes is the count of defined opcodes; it must stay ≤ 16 so that
+	// opcodes fit the 4-bit field assumed throughout the microcode sizing.
+	NumOpcodes = iota
+)
+
+// OpcodeBits is the width of the opcode field in a physical µop.
+const OpcodeBits = 4
+
+// LogicalInstrBytes is the fixed size of a logical instruction on the global
+// bus (Balensiefer-style 2-byte encoding, §5.3 of the paper).
+const LogicalInstrBytes = 2
+
+var opcodeNames = [NumOpcodes]string{
+	"IDLE", "PREP0", "PREP1", "PREP+", "MEASZ", "MEASX",
+	"X", "Y", "Z", "H", "S", "SDG", "T", "CNOTC", "CNOTT", "CZ",
+}
+
+// String returns the mnemonic for the opcode.
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) {
+		return opcodeNames[op]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(op))
+}
+
+// Valid reports whether the opcode is one of the defined operations.
+func (op Opcode) Valid() bool { return int(op) < NumOpcodes }
+
+// IsMeasurement reports whether the opcode destroys the qubit state and
+// produces a classical bit that must be routed to the decoder pipeline.
+func (op Opcode) IsMeasurement() bool { return op == OpMeasZ || op == OpMeasX }
+
+// IsPrep reports whether the opcode initializes the qubit.
+func (op Opcode) IsPrep() bool {
+	return op == OpPrep0 || op == OpPrep1 || op == OpPrepPlus
+}
+
+// IsTwoQubit reports whether the opcode is half of a two-qubit gate and
+// therefore requires a pair address.
+func (op Opcode) IsTwoQubit() bool {
+	return op == OpCNOTControl || op == OpCNOTTarget || op == OpCZ
+}
+
+// IsClifford reports whether the operation is in the Clifford group (and thus
+// directly executable on the stabilizer substrate simulator).
+func (op Opcode) IsClifford() bool { return op != OpT }
+
+// MicroOp is a single physical micro-operation destined for one qubit in one
+// sub-cycle. Qubit is the flat index within the MCE's tile; Pair is the flat
+// index of the partner qubit for two-qubit opcodes (and ignored otherwise).
+type MicroOp struct {
+	Op    Opcode
+	Qubit int
+	Pair  int
+}
+
+// String renders the µop in assembly-like form.
+func (m MicroOp) String() string {
+	if m.Op.IsTwoQubit() {
+		return fmt.Sprintf("%s q%d,q%d", m.Op, m.Qubit, m.Pair)
+	}
+	return fmt.Sprintf("%s q%d", m.Op, m.Qubit)
+}
+
+// AddrBits returns the number of address bits needed to name one of n qubits
+// in the conventional (RAM) µop encoding. n must be positive.
+func AddrBits(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// RAMOpBits returns the encoded size in bits of one µop under the
+// conventional opcode+address organization for a tile of n qubits.
+func RAMOpBits(n int) int { return OpcodeBits + AddrBits(n) }
+
+// FIFOOpBits returns the encoded size in bits of one µop under the FIFO
+// organization, where lock-step delivery makes the address implicit.
+func FIFOOpBits() int { return OpcodeBits }
+
+// VLIW is one physical instruction word: exactly one µop per qubit of a
+// tile, executed in lock-step when the master clock fires. Index i holds the
+// opcode for qubit i; Pairs[i] holds the partner for two-qubit opcodes.
+type VLIW struct {
+	Ops   []Opcode
+	Pairs []int
+}
+
+// NewVLIW returns an all-Idle instruction word for a tile of n qubits.
+func NewVLIW(n int) VLIW {
+	v := VLIW{Ops: make([]Opcode, n), Pairs: make([]int, n)}
+	for i := range v.Pairs {
+		v.Pairs[i] = -1
+	}
+	return v
+}
+
+// Len returns the tile width of the word.
+func (v VLIW) Len() int { return len(v.Ops) }
+
+// Set assigns a single-qubit µop.
+func (v VLIW) Set(qubit int, op Opcode) {
+	v.Ops[qubit] = op
+	v.Pairs[qubit] = -1
+}
+
+// SetPair assigns a two-qubit µop half with its partner index.
+func (v VLIW) SetPair(qubit int, op Opcode, pair int) {
+	v.Ops[qubit] = op
+	v.Pairs[qubit] = pair
+}
+
+// Clone returns a deep copy of the word.
+func (v VLIW) Clone() VLIW {
+	c := VLIW{Ops: make([]Opcode, len(v.Ops)), Pairs: make([]int, len(v.Pairs))}
+	copy(c.Ops, v.Ops)
+	copy(c.Pairs, v.Pairs)
+	return c
+}
+
+// Equal reports whether two words encode the identical lock-step operation,
+// including two-qubit pairings.
+func (v VLIW) Equal(o VLIW) bool {
+	if len(v.Ops) != len(o.Ops) {
+		return false
+	}
+	for i := range v.Ops {
+		if v.Ops[i] != o.Ops[i] {
+			return false
+		}
+		if v.Ops[i].IsTwoQubit() && v.Pairs[i] != o.Pairs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural invariants: every opcode defined, every
+// two-qubit op paired with a partner whose op is the matching half and whose
+// Pair points back. It returns a descriptive error for the first violation.
+func (v VLIW) Validate() error {
+	if len(v.Ops) != len(v.Pairs) {
+		return fmt.Errorf("isa: VLIW ops/pairs length mismatch %d != %d", len(v.Ops), len(v.Pairs))
+	}
+	for q, op := range v.Ops {
+		if !op.Valid() {
+			return fmt.Errorf("isa: qubit %d has undefined opcode %d", q, uint8(op))
+		}
+		if !op.IsTwoQubit() {
+			continue
+		}
+		p := v.Pairs[q]
+		if p < 0 || p >= len(v.Ops) {
+			return fmt.Errorf("isa: qubit %d %s pair %d out of range", q, op, p)
+		}
+		if p == q {
+			return fmt.Errorf("isa: qubit %d %s paired with itself", q, op)
+		}
+		if v.Pairs[p] != q {
+			return fmt.Errorf("isa: qubit %d pairs with %d but %d pairs with %d", q, p, p, v.Pairs[p])
+		}
+		po := v.Ops[p]
+		switch op {
+		case OpCNOTControl:
+			if po != OpCNOTTarget {
+				return fmt.Errorf("isa: qubit %d CNOTC pairs with %s", q, po)
+			}
+		case OpCNOTTarget:
+			if po != OpCNOTControl {
+				return fmt.Errorf("isa: qubit %d CNOTT pairs with %s", q, po)
+			}
+		case OpCZ:
+			if po != OpCZ {
+				return fmt.Errorf("isa: qubit %d CZ pairs with %s", q, po)
+			}
+		}
+	}
+	return nil
+}
+
+// MicroOps expands the word into the per-qubit µop list (including explicit
+// idles), the exact stream a microcode memory must deliver for one sub-cycle.
+func (v VLIW) MicroOps() []MicroOp {
+	out := make([]MicroOp, len(v.Ops))
+	for q, op := range v.Ops {
+		out[q] = MicroOp{Op: op, Qubit: q, Pair: v.Pairs[q]}
+	}
+	return out
+}
+
+// LogicalOpcode identifies a logical (encoded, fault-tolerant) instruction
+// dispatched by the master controller to MCEs.
+type LogicalOpcode uint8
+
+const (
+	// LPrep0 transversally prepares a logical qubit in |0>.
+	LPrep0 LogicalOpcode = iota
+	// LPrepPlus transversally prepares a logical qubit in |+>.
+	LPrepPlus
+	// LMeasZ transversally measures a logical qubit in Z.
+	LMeasZ
+	// LMeasX transversally measures a logical qubit in X.
+	LMeasX
+	// LX is the logical Pauli-X (a frame update plus transverse X chain).
+	LX
+	// LZ is the logical Pauli-Z.
+	LZ
+	// LH is the logical Hadamard.
+	LH
+	// LS is the logical phase gate.
+	LS
+	// LT is the logical T gate; consumes one magic state from a T-factory.
+	LT
+	// LCNOT is the logical CNOT, realized by braiding (a mask-instruction
+	// sequence that moves a defect boundary around the partner's).
+	LCNOT
+	// LMaskGrow expands a logical qubit's masked boundary by one step along a
+	// braid path.
+	LMaskGrow
+	// LMaskShrink contracts the masked boundary by one step.
+	LMaskShrink
+	// LMaskMove relocates a defect by one lattice step (grow+shrink fused).
+	LMaskMove
+	// LSyncToken is a master-controller synchronization token: it carries no
+	// quantum semantics but sequences cache refills and cross-MCE operations.
+	LSyncToken
+	// LCacheLoad writes one entry of the MCE's software-managed logical
+	// instruction cache (used to stage distillation loops).
+	LCacheLoad
+	// LCacheRun replays a cached loop body a given number of times.
+	LCacheRun
+
+	// NumLogicalOpcodes counts the defined logical opcodes.
+	NumLogicalOpcodes = iota
+)
+
+var logicalNames = [NumLogicalOpcodes]string{
+	"LPREP0", "LPREP+", "LMEASZ", "LMEASX", "LX", "LZ", "LH", "LS", "LT",
+	"LCNOT", "LGROW", "LSHRINK", "LMOVE", "LSYNC", "LCLOAD", "LCRUN",
+}
+
+// String returns the mnemonic of the logical opcode.
+func (op LogicalOpcode) String() string {
+	if int(op) < len(logicalNames) {
+		return logicalNames[op]
+	}
+	return fmt.Sprintf("LOP(%d)", uint8(op))
+}
+
+// Valid reports whether the logical opcode is defined.
+func (op LogicalOpcode) Valid() bool { return int(op) < NumLogicalOpcodes }
+
+// IsMask reports whether the instruction manipulates the QECC mask table
+// rather than applying transverse physical operations.
+func (op LogicalOpcode) IsMask() bool {
+	switch op {
+	case LCNOT, LMaskGrow, LMaskShrink, LMaskMove:
+		return true
+	}
+	return false
+}
+
+// IsTransverse reports whether the instruction expands to the same physical
+// µop applied across every physical qubit of the logical patch.
+func (op LogicalOpcode) IsTransverse() bool {
+	switch op {
+	case LPrep0, LPrepPlus, LMeasZ, LMeasX, LX, LZ, LH, LS, LT:
+		return true
+	}
+	return false
+}
+
+// LogicalInstr is one logical instruction. Target and Arg address logical
+// qubits (or cache slots / repeat counts for the cache-management opcodes)
+// within the receiving MCE's tile.
+type LogicalInstr struct {
+	Op     LogicalOpcode
+	Target uint8
+	Arg    uint8
+}
+
+// String renders the instruction in assembly-like form.
+func (l LogicalInstr) String() string {
+	switch l.Op {
+	case LCNOT:
+		return fmt.Sprintf("%s L%d,L%d", l.Op, l.Target, l.Arg)
+	case LCacheLoad, LCacheRun:
+		return fmt.Sprintf("%s slot%d,%d", l.Op, l.Target, l.Arg)
+	case LSyncToken:
+		return fmt.Sprintf("%s #%d", l.Op, uint16(l.Target)<<8|uint16(l.Arg))
+	}
+	return fmt.Sprintf("%s L%d", l.Op, l.Target)
+}
+
+// Encode packs the instruction into the fixed 2-byte wire format:
+// byte 0 = opcode (high nibble) | target (low nibble is the high 4 bits of
+// Target — see layout below), byte 1 = remaining target/arg bits.
+//
+// Layout: [4b opcode][6b target][6b arg].
+func (l LogicalInstr) Encode() [LogicalInstrBytes]byte {
+	v := uint16(l.Op)<<12 | uint16(l.Target&0x3f)<<6 | uint16(l.Arg&0x3f)
+	return [LogicalInstrBytes]byte{byte(v >> 8), byte(v)}
+}
+
+// DecodeLogical unpacks a 2-byte wire word into a logical instruction. It
+// returns an error for undefined opcodes so that corrupted packets are
+// rejected at the MCE boundary instead of latching garbage µops.
+func DecodeLogical(b [LogicalInstrBytes]byte) (LogicalInstr, error) {
+	v := uint16(b[0])<<8 | uint16(b[1])
+	op := LogicalOpcode(v >> 12)
+	if !op.Valid() {
+		return LogicalInstr{}, fmt.Errorf("isa: undefined logical opcode %d", op)
+	}
+	return LogicalInstr{Op: op, Target: uint8(v >> 6 & 0x3f), Arg: uint8(v & 0x3f)}, nil
+}

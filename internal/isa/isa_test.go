@@ -1,0 +1,300 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeFitsFourBits(t *testing.T) {
+	if NumOpcodes > 1<<OpcodeBits {
+		t.Fatalf("NumOpcodes = %d exceeds 4-bit opcode space", NumOpcodes)
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for op := Opcode(0); op.Valid(); op++ {
+		if op.String() == "" {
+			t.Errorf("opcode %d has empty mnemonic", op)
+		}
+	}
+	if got := Opcode(200).String(); got != "OP(200)" {
+		t.Errorf("invalid opcode string = %q", got)
+	}
+}
+
+func TestOpcodePredicates(t *testing.T) {
+	cases := []struct {
+		op                      Opcode
+		meas, prep, twoq, cliff bool
+	}{
+		{OpIdle, false, false, false, true},
+		{OpPrep0, false, true, false, true},
+		{OpPrep1, false, true, false, true},
+		{OpPrepPlus, false, true, false, true},
+		{OpMeasZ, true, false, false, true},
+		{OpMeasX, true, false, false, true},
+		{OpX, false, false, false, true},
+		{OpH, false, false, false, true},
+		{OpT, false, false, false, false},
+		{OpCNOTControl, false, false, true, true},
+		{OpCNOTTarget, false, false, true, true},
+		{OpCZ, false, false, true, true},
+	}
+	for _, c := range cases {
+		if c.op.IsMeasurement() != c.meas {
+			t.Errorf("%s IsMeasurement = %v", c.op, !c.meas)
+		}
+		if c.op.IsPrep() != c.prep {
+			t.Errorf("%s IsPrep = %v", c.op, !c.prep)
+		}
+		if c.op.IsTwoQubit() != c.twoq {
+			t.Errorf("%s IsTwoQubit = %v", c.op, !c.twoq)
+		}
+		if c.op.IsClifford() != c.cliff {
+			t.Errorf("%s IsClifford = %v", c.op, !c.cliff)
+		}
+	}
+}
+
+func TestAddrBits(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{16, 4}, {17, 5}, {25, 5}, {48, 6}, {120, 7}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := AddrBits(c.n); got != c.want {
+			t.Errorf("AddrBits(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestOpBitsOrdering(t *testing.T) {
+	// RAM encoding must always be strictly wider than FIFO encoding: that
+	// gap is the entire FIFO optimization.
+	for n := 1; n <= 4096; n *= 2 {
+		if RAMOpBits(n) <= FIFOOpBits() {
+			t.Errorf("RAMOpBits(%d) = %d not > FIFOOpBits %d", n, RAMOpBits(n), FIFOOpBits())
+		}
+	}
+	if FIFOOpBits() != OpcodeBits {
+		t.Errorf("FIFOOpBits = %d, want %d", FIFOOpBits(), OpcodeBits)
+	}
+}
+
+func TestVLIWSetAndValidate(t *testing.T) {
+	v := NewVLIW(6)
+	if err := v.Validate(); err != nil {
+		t.Fatalf("fresh VLIW invalid: %v", err)
+	}
+	v.Set(0, OpH)
+	v.SetPair(1, OpCNOTControl, 2)
+	v.SetPair(2, OpCNOTTarget, 1)
+	v.SetPair(4, OpCZ, 5)
+	v.SetPair(5, OpCZ, 4)
+	if err := v.Validate(); err != nil {
+		t.Fatalf("valid VLIW rejected: %v", err)
+	}
+	ops := v.MicroOps()
+	if len(ops) != 6 {
+		t.Fatalf("MicroOps len = %d, want 6", len(ops))
+	}
+	if ops[3].Op != OpIdle {
+		t.Errorf("unset qubit op = %s, want IDLE", ops[3].Op)
+	}
+	if ops[1].Pair != 2 || ops[2].Pair != 1 {
+		t.Errorf("pair indices wrong: %v %v", ops[1], ops[2])
+	}
+}
+
+func TestVLIWValidateRejections(t *testing.T) {
+	mk := func(f func(v VLIW)) VLIW {
+		v := NewVLIW(4)
+		f(v)
+		return v
+	}
+	bad := []struct {
+		name string
+		v    VLIW
+	}{
+		{"dangling control", mk(func(v VLIW) { v.SetPair(0, OpCNOTControl, 1) })},
+		{"self pair", mk(func(v VLIW) { v.SetPair(0, OpCZ, 0) })},
+		{"out of range pair", mk(func(v VLIW) { v.SetPair(0, OpCZ, 9) })},
+		{"asymmetric pair", mk(func(v VLIW) {
+			v.SetPair(0, OpCNOTControl, 1)
+			v.SetPair(1, OpCNOTTarget, 2)
+			v.SetPair(2, OpCNOTControl, 1)
+		})},
+		{"control-control", mk(func(v VLIW) {
+			v.SetPair(0, OpCNOTControl, 1)
+			v.SetPair(1, OpCNOTControl, 0)
+		})},
+		{"cz-cnot mix", mk(func(v VLIW) {
+			v.SetPair(0, OpCZ, 1)
+			v.SetPair(1, OpCNOTTarget, 0)
+		})},
+		{"undefined opcode", mk(func(v VLIW) { v.Ops[0] = Opcode(99) })},
+	}
+	for _, c := range bad {
+		if err := c.v.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid word", c.name)
+		}
+	}
+	lenMismatch := VLIW{Ops: make([]Opcode, 3), Pairs: make([]int, 2)}
+	if err := lenMismatch.Validate(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestVLIWCloneIsDeep(t *testing.T) {
+	v := NewVLIW(3)
+	v.SetPair(0, OpCZ, 1)
+	v.SetPair(1, OpCZ, 0)
+	c := v.Clone()
+	c.Set(0, OpX)
+	c.Set(1, OpIdle)
+	if v.Ops[0] != OpCZ || v.Pairs[0] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+	if !v.Equal(v.Clone()) {
+		t.Error("clone not Equal to original")
+	}
+}
+
+func TestVLIWEqual(t *testing.T) {
+	a := NewVLIW(4)
+	b := NewVLIW(4)
+	if !a.Equal(b) {
+		t.Error("fresh words not equal")
+	}
+	a.Set(2, OpH)
+	if a.Equal(b) {
+		t.Error("differing words equal")
+	}
+	b.Set(2, OpH)
+	if !a.Equal(b) {
+		t.Error("matching words unequal")
+	}
+	// Pair differences only matter for two-qubit ops.
+	a.Pairs[3] = 1
+	if !a.Equal(b) {
+		t.Error("idle pair index affected equality")
+	}
+	a.SetPair(0, OpCZ, 1)
+	a.SetPair(1, OpCZ, 0)
+	b.SetPair(0, OpCZ, 2)
+	b.SetPair(2, OpCZ, 0)
+	if a.Equal(b) {
+		t.Error("different pairings equal")
+	}
+	if a.Equal(NewVLIW(5)) {
+		t.Error("different widths equal")
+	}
+}
+
+func TestLogicalEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, target, arg uint8) bool {
+		l := LogicalInstr{
+			Op:     LogicalOpcode(op % NumLogicalOpcodes),
+			Target: target & 0x3f,
+			Arg:    arg & 0x3f,
+		}
+		got, err := DecodeLogical(l.Encode())
+		return err == nil && got == l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeLogicalRejectsUndefined(t *testing.T) {
+	for op := NumLogicalOpcodes; op < 16; op++ {
+		w := [LogicalInstrBytes]byte{byte(op << 4), 0}
+		if _, err := DecodeLogical(w); err == nil {
+			t.Errorf("opcode %d: decode accepted undefined opcode", op)
+		}
+	}
+}
+
+func TestLogicalOpcodePartition(t *testing.T) {
+	// Every logical opcode is mask, transverse, or control-plane — never two.
+	controlPlane := map[LogicalOpcode]bool{
+		LSyncToken: true, LCacheLoad: true, LCacheRun: true,
+	}
+	for op := LogicalOpcode(0); op.Valid(); op++ {
+		n := 0
+		if op.IsMask() {
+			n++
+		}
+		if op.IsTransverse() {
+			n++
+		}
+		if controlPlane[op] {
+			n++
+		}
+		if n != 1 {
+			t.Errorf("%s belongs to %d categories, want exactly 1", op, n)
+		}
+	}
+}
+
+func TestLogicalInstrStrings(t *testing.T) {
+	cases := []struct {
+		in   LogicalInstr
+		want string
+	}{
+		{LogicalInstr{Op: LCNOT, Target: 1, Arg: 2}, "LCNOT L1,L2"},
+		{LogicalInstr{Op: LT, Target: 3}, "LT L3"},
+		{LogicalInstr{Op: LCacheLoad, Target: 4, Arg: 9}, "LCLOAD slot4,9"},
+		{LogicalInstr{Op: LCacheRun, Target: 0, Arg: 25}, "LCRUN slot0,25"},
+		{LogicalInstr{Op: LSyncToken, Target: 1, Arg: 1}, "LSYNC #257"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+	if LogicalOpcode(99).String() != "LOP(99)" {
+		t.Error("invalid logical opcode mnemonic")
+	}
+}
+
+func TestMicroOpString(t *testing.T) {
+	if got := (MicroOp{Op: OpH, Qubit: 7}).String(); got != "H q7" {
+		t.Errorf("MicroOp String = %q", got)
+	}
+	if got := (MicroOp{Op: OpCNOTControl, Qubit: 1, Pair: 4}).String(); got != "CNOTC q1,q4" {
+		t.Errorf("two-qubit MicroOp String = %q", got)
+	}
+}
+
+func TestRandomVLIWMicroOpsMatchWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(30)
+		v := NewVLIW(n)
+		// Random single-qubit ops plus a few consistent pairs.
+		for q := 0; q < n; q++ {
+			op := Opcode(rng.Intn(NumOpcodes))
+			if op.IsTwoQubit() {
+				op = OpIdle
+			}
+			v.Set(q, op)
+		}
+		for p := 0; p+1 < n; p += 2 {
+			if rng.Intn(2) == 0 {
+				v.SetPair(p, OpCNOTControl, p+1)
+				v.SetPair(p+1, OpCNOTTarget, p)
+			}
+		}
+		if err := v.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ops := v.MicroOps()
+		for q, m := range ops {
+			if m.Qubit != q || m.Op != v.Ops[q] {
+				t.Fatalf("trial %d qubit %d: µop %v disagrees with word", trial, q, m)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package isa
+
+import "fmt"
+
+// This file defines the physical wire formats of the two microcode
+// organizations: the conventional RAM encoding (opcode + qubit address,
+// §4.4's baseline) and the FIFO encoding (packed 4-bit opcodes in lock-step
+// order). The byte-sized physical instruction of §3.3 is the RAM encoding at
+// tile widths ≤ 16 qubits; larger tiles widen the address field. These
+// codecs materialize the streams the bandwidth meters count, and their
+// round-trip tests pin the accounting to real bytes.
+
+// EncodeFIFO packs a VLIW word's opcodes into 4-bit nibbles in qubit order —
+// the address-free stream the FIFO and unit-cell microcodes emit. Two-qubit
+// pairings are not carried: lock-step order plus the schedule's geometry
+// reconstruct them, which is exactly why the encoding is legal (§4.5).
+func EncodeFIFO(w VLIW) []byte {
+	out := make([]byte, (len(w.Ops)+1)/2)
+	for q, op := range w.Ops {
+		if q%2 == 0 {
+			out[q/2] = byte(op) << 4
+		} else {
+			out[q/2] |= byte(op)
+		}
+	}
+	return out
+}
+
+// DecodeFIFO unpacks n opcodes from a FIFO stream. It rejects undefined
+// opcodes and short buffers.
+func DecodeFIFO(data []byte, n int) ([]Opcode, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("isa: negative opcode count %d", n)
+	}
+	if len(data) < (n+1)/2 {
+		return nil, fmt.Errorf("isa: FIFO stream truncated: %d bytes for %d ops", len(data), n)
+	}
+	out := make([]Opcode, n)
+	for q := 0; q < n; q++ {
+		var nib byte
+		if q%2 == 0 {
+			nib = data[q/2] >> 4
+		} else {
+			nib = data[q/2] & 0x0f
+		}
+		op := Opcode(nib)
+		if !op.Valid() {
+			return nil, fmt.Errorf("isa: undefined opcode %d at position %d", nib, q)
+		}
+		out[q] = op
+	}
+	return out, nil
+}
+
+// RAMWordBytes returns the byte size of one RAM-encoded µop for a tile of n
+// qubits: 4 opcode bits + ceil(log2 n) address bits, rounded up to bytes.
+// For n ≤ 16 this is the paper's byte-sized instruction.
+func RAMWordBytes(n int) int {
+	return (RAMOpBits(n) + 7) / 8
+}
+
+// EncodeRAM encodes one µop in the conventional organization for a tile of
+// n qubits: big-endian, opcode in the top nibble.
+func EncodeRAM(m MicroOp, n int) ([]byte, error) {
+	if m.Qubit < 0 || m.Qubit >= n {
+		return nil, fmt.Errorf("isa: qubit %d outside %d-qubit tile", m.Qubit, n)
+	}
+	if !m.Op.Valid() {
+		return nil, fmt.Errorf("isa: undefined opcode %d", uint8(m.Op))
+	}
+	sz := RAMWordBytes(n)
+	addrBits := AddrBits(n)
+	v := uint64(m.Op)<<uint(addrBits) | uint64(m.Qubit)
+	out := make([]byte, sz)
+	for i := sz - 1; i >= 0; i-- {
+		out[i] = byte(v)
+		v >>= 8
+	}
+	return out, nil
+}
+
+// DecodeRAM decodes one RAM-encoded µop for a tile of n qubits.
+func DecodeRAM(data []byte, n int) (MicroOp, error) {
+	sz := RAMWordBytes(n)
+	if len(data) < sz {
+		return MicroOp{}, fmt.Errorf("isa: RAM word truncated: %d < %d bytes", len(data), sz)
+	}
+	var v uint64
+	for i := 0; i < sz; i++ {
+		v = v<<8 | uint64(data[i])
+	}
+	addrBits := AddrBits(n)
+	op := Opcode(v >> uint(addrBits))
+	q := int(v & (1<<uint(addrBits) - 1))
+	if !op.Valid() {
+		return MicroOp{}, fmt.Errorf("isa: undefined opcode %d", uint8(op))
+	}
+	if q >= n {
+		return MicroOp{}, fmt.Errorf("isa: address %d outside %d-qubit tile", q, n)
+	}
+	return MicroOp{Op: op, Qubit: q, Pair: -1}, nil
+}
+
+// StreamBytes returns the wire cost of shipping one full QECC cycle of
+// `depth` words over a tile of n qubits in each organization — the numbers
+// behind the capacity/bandwidth figures.
+func StreamBytes(n, depth int) (ram, fifo int) {
+	return n * depth * RAMWordBytes(n), depth * ((n + 1) / 2)
+}
+
+// AddrMask returns the address mask for an n-qubit tile (diagnostics).
+func AddrMask(n int) uint64 {
+	return 1<<uint(AddrBits(n)) - 1
+}

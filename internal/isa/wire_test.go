@@ -1,0 +1,111 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		w := NewVLIW(n)
+		for q := 0; q < n; q++ {
+			op := Opcode(rng.Intn(NumOpcodes))
+			if op.IsTwoQubit() {
+				op = OpIdle
+			}
+			w.Set(q, op)
+		}
+		enc := EncodeFIFO(w)
+		if len(enc) != (n+1)/2 {
+			t.Fatalf("n=%d: encoded %d bytes", n, len(enc))
+		}
+		ops, err := DecodeFIFO(enc, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < n; q++ {
+			if ops[q] != w.Ops[q] {
+				t.Fatalf("n=%d q=%d: %s != %s", n, q, ops[q], w.Ops[q])
+			}
+		}
+	}
+}
+
+func TestFIFODecodeErrors(t *testing.T) {
+	if _, err := DecodeFIFO([]byte{0x00}, 5); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if _, err := DecodeFIFO([]byte{0xff}, 2); err != nil {
+		// 0xf is OpCZ — valid. So this should pass.
+		t.Errorf("valid nibble rejected: %v", err)
+	}
+	if _, err := DecodeFIFO(nil, -1); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestRAMWordByteSizes(t *testing.T) {
+	// The §3.3 byte-sized instruction: tiles up to 16 qubits fit one byte.
+	if got := RAMWordBytes(16); got != 1 {
+		t.Errorf("16-qubit RAM word = %d bytes, want 1", got)
+	}
+	if got := RAMWordBytes(25); got != 2 {
+		t.Errorf("25-qubit RAM word = %d bytes, want 2", got)
+	}
+	if got := RAMWordBytes(4096); got != 2 {
+		t.Errorf("4096-qubit RAM word = %d bytes, want 2", got)
+	}
+}
+
+func TestRAMRoundTrip(t *testing.T) {
+	f := func(opRaw, qRaw uint8, nRaw uint16) bool {
+		n := 2 + int(nRaw)%5000
+		op := Opcode(opRaw % NumOpcodes)
+		q := int(qRaw) % n
+		enc, err := EncodeRAM(MicroOp{Op: op, Qubit: q}, n)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeRAM(enc, n)
+		return err == nil && got.Op == op && got.Qubit == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRAMEncodeErrors(t *testing.T) {
+	if _, err := EncodeRAM(MicroOp{Op: OpH, Qubit: 99}, 10); err == nil {
+		t.Error("out-of-tile qubit accepted")
+	}
+	if _, err := EncodeRAM(MicroOp{Op: Opcode(99), Qubit: 0}, 10); err == nil {
+		t.Error("bad opcode accepted")
+	}
+	if _, err := DecodeRAM([]byte{}, 10); err == nil {
+		t.Error("empty decode accepted")
+	}
+	// Address beyond tile is rejected: n=10 → 4 addr bits; addr 12 invalid.
+	bad := []byte{byte(OpH)<<4 | 12}
+	if _, err := DecodeRAM(bad, 10); err == nil {
+		t.Error("out-of-range address accepted")
+	}
+}
+
+func TestStreamBytesMatchScalingLaws(t *testing.T) {
+	// RAM:FIFO wire ratio for one cycle mirrors the capacity figures: at 16
+	// qubits 2×, widening as the address field grows.
+	ram16, fifo16 := StreamBytes(16, 9)
+	if ram16 != 16*9 || fifo16 != 9*8 {
+		t.Errorf("16-qubit stream = %d/%d", ram16, fifo16)
+	}
+	ram1k, fifo1k := StreamBytes(1024, 9)
+	if float64(ram1k)/float64(fifo1k) < 3.9 {
+		t.Errorf("1024-qubit RAM/FIFO wire ratio %.1f, want ≈4", float64(ram1k)/float64(fifo1k))
+	}
+	if AddrMask(16) != 0x0f || AddrMask(1024) != 0x3ff {
+		t.Error("address masks wrong")
+	}
+}

@@ -1,0 +1,24 @@
+package jj_test
+
+import (
+	"fmt"
+
+	"quest/internal/jj"
+)
+
+// ExampleMemoryConfig shows the paper's 4 Kb microcode memory options and
+// the bandwidth lever behind the unit-cell optimization: four 1 Kb banks
+// deliver 6× the read throughput of one 4 Kb bank.
+func ExampleMemoryConfig() {
+	one := jj.OneChannel4Kb
+	four := jj.FourChannel1Kb
+	fmt.Println(one, "-> latency", one.ReadLatencyCycles(), "cycles")
+	fmt.Println(four, "-> latency", four.ReadLatencyCycles(), "cycles")
+	fmt.Printf("bandwidth ratio: %.0fx\n", four.ReadsPerCycle()/one.ReadsPerCycle())
+	fmt.Printf("Table 2 anchor: %d JJs, %.1f µW\n", four.JJCount(), four.PowerMicroWatts())
+	// Output:
+	// 1 Channel = 4Kb x 1 -> latency 3 cycles
+	// 4 Channel = 1Kb x 4 -> latency 2 cycles
+	// bandwidth ratio: 6x
+	// Table 2 anchor: 170048 JJs, 2.1 µW
+}

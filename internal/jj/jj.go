@@ -1,0 +1,162 @@
+// Package jj models the Josephson-junction (JJ) superconducting logic
+// technology the paper assumes for the 4K control processor: ultra-low-power
+// Boolean gates (~1000× more efficient than CMOS at 10 GHz), extreme
+// reliability (bit error rate ~1e-30), but very low integration density and
+// expensive memory (§2.2, §4.5).
+//
+// The memory model is calibrated to the data points the paper publishes from
+// Dorojevets et al.: a 4 Kb array costs ≈170,000 JJs over 1 cm² and ≈10 µW;
+// a one-channel 4 Kb configuration has a 3-cycle read latency while a
+// four-channel 1 Kb configuration reads in 2 cycles and delivers 6× the
+// bandwidth; and the Table 2 operating points (JJ counts and power) for the
+// four syndrome designs. Non-anchor configurations interpolate.
+package jj
+
+import (
+	"fmt"
+	"math"
+)
+
+// Technology constants quoted by the paper (§2.2, §4.5).
+const (
+	// PowerEfficiencyVsCMOS is the JJ:CMOS power advantage at 10 GHz.
+	PowerEfficiencyVsCMOS = 1000.0
+	// BitErrorRate is the demonstrated JJ logic error rate at 4K.
+	BitErrorRate = 1e-30
+	// ClockHz is the JJ logic clock.
+	ClockHz = 10e9
+	// DensityConservativeJJPerCm2 and DensityOptimisticJJPerCm2 bound the
+	// fabrication density (10^6..10^8 JJs/cm²).
+	DensityConservativeJJPerCm2 = 1e6
+	DensityOptimisticJJPerCm2   = 1e8
+	// MemoryDensityConservativeBitsPerCm2 is the ~4 Kb/cm² older-process
+	// estimate; MemoryDensityOptimisticBitsPerCm2 the ~400 Kb/cm² projection.
+	MemoryDensityConservativeBitsPerCm2 = 4 * 1024
+	MemoryDensityOptimisticBitsPerCm2   = 400 * 1024
+)
+
+// MemoryConfig is a banked JJ microcode memory: Channels independent banks
+// of BankBits each, every bank with its own read port.
+type MemoryConfig struct {
+	BankBits int
+	Channels int
+}
+
+// Standard configurations evaluated in the paper for a fixed 4 Kb budget.
+var (
+	OneChannel4Kb   = MemoryConfig{BankBits: 4096, Channels: 1}
+	TwoChannel2Kb   = MemoryConfig{BankBits: 2048, Channels: 2}
+	FourChannel1Kb  = MemoryConfig{BankBits: 1024, Channels: 4}
+	EightChannel512 = MemoryConfig{BankBits: 512, Channels: 8}
+)
+
+// Configs4Kb lists the fixed-budget configurations in channel order.
+func Configs4Kb() []MemoryConfig {
+	return []MemoryConfig{OneChannel4Kb, TwoChannel2Kb, FourChannel1Kb, EightChannel512}
+}
+
+// Validate checks the configuration is physically meaningful.
+func (c MemoryConfig) Validate() error {
+	if c.BankBits <= 0 {
+		return fmt.Errorf("jj: non-positive bank capacity %d", c.BankBits)
+	}
+	if c.Channels <= 0 {
+		return fmt.Errorf("jj: non-positive channel count %d", c.Channels)
+	}
+	return nil
+}
+
+// TotalBits returns the aggregate capacity.
+func (c MemoryConfig) TotalBits() int { return c.BankBits * c.Channels }
+
+// String renders the paper's "N Channel = size x N" notation.
+func (c MemoryConfig) String() string {
+	return fmt.Sprintf("%d Channel = %s x %d", c.Channels, bitsLabel(c.BankBits), c.Channels)
+}
+
+func bitsLabel(bits int) string {
+	if bits >= 1024 && bits%1024 == 0 {
+		return fmt.Sprintf("%dKb", bits/1024)
+	}
+	return fmt.Sprintf("%db", bits)
+}
+
+// ReadLatencyCycles returns the per-bank read latency in JJ clock cycles,
+// calibrated to the paper's anchors (4 Kb → 3 cycles, 1 Kb → 2 cycles) and
+// growing by one cycle per 4× capacity beyond.
+func (c MemoryConfig) ReadLatencyCycles() int {
+	switch {
+	case c.BankBits <= 512:
+		return 1
+	case c.BankBits <= 2048:
+		return 2
+	case c.BankBits <= 8192:
+		return 3
+	default:
+		// One extra cycle per additional 4× capacity.
+		extra := int(math.Ceil(math.Log2(float64(c.BankBits)/8192) / 2))
+		return 3 + extra
+	}
+}
+
+// ReadsPerCycle returns the aggregate read throughput in accesses per JJ
+// clock cycle: each channel completes one access per latency period. The
+// paper's 6× bandwidth gain of 4×1Kb over 1×4Kb falls out of this model
+// ((4/2)/(1/3) = 6).
+func (c MemoryConfig) ReadsPerCycle() float64 {
+	return float64(c.Channels) / float64(c.ReadLatencyCycles())
+}
+
+// BandwidthBitsPerSec returns the sustained read bandwidth for a given µop
+// word width in bits.
+func (c MemoryConfig) BandwidthBitsPerSec(wordBits int) float64 {
+	return c.ReadsPerCycle() * float64(wordBits) * ClockHz
+}
+
+// anchor holds a measured (JJ count, power) pair from the paper.
+type anchor struct {
+	jjs   int
+	power float64 // µW
+}
+
+// anchors are the exact Table 2 / footnote-6 operating points.
+var anchors = map[MemoryConfig]anchor{
+	OneChannel4Kb:   {jjs: 170000, power: 10.0}, // footnote 6 (peak-rate figure)
+	TwoChannel2Kb:   {jjs: 168264, power: 1.1},
+	FourChannel1Kb:  {jjs: 170048, power: 2.1},
+	EightChannel512: {jjs: 163472, power: 5.6},
+}
+
+// JJCount returns the junction count of the configuration: the published
+// figure for the paper's anchor points, otherwise a per-bit model (≈41 JJs
+// per stored bit plus per-channel decoder overhead) consistent with them.
+func (c MemoryConfig) JJCount() int {
+	if a, ok := anchors[c]; ok {
+		return a.jjs
+	}
+	const jjPerBit = 41.0
+	const perChannelOverhead = 640.0
+	return int(jjPerBit*float64(c.TotalBits()) + perChannelOverhead*float64(c.Channels))
+}
+
+// PowerMicroWatts returns the dissipation of the configuration when streamed
+// continuously: published figures at anchor points, otherwise a model in
+// which power scales with aggregate read rate (channel count over latency)
+// plus a small static term per bank.
+func (c MemoryConfig) PowerMicroWatts() float64 {
+	if a, ok := anchors[c]; ok {
+		return a.power
+	}
+	return 0.8*c.ReadsPerCycle() + 0.15*float64(c.Channels)
+}
+
+// AreaCm2 returns the die area at the conservative memory density.
+func (c MemoryConfig) AreaCm2() float64 {
+	return float64(c.TotalBits()) / MemoryDensityConservativeBitsPerCm2
+}
+
+// CMOSEquivalentPowerMicroWatts returns what the same function would burn in
+// CMOS, per the paper's 1000× claim — used by ablation reporting.
+func (c MemoryConfig) CMOSEquivalentPowerMicroWatts() float64 {
+	return c.PowerMicroWatts() * PowerEfficiencyVsCMOS
+}

@@ -1,0 +1,134 @@
+package jj
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAnchorLatencies(t *testing.T) {
+	// Paper anchors: 1-channel 4Kb reads in 3 cycles; 4-channel 1Kb in 2.
+	if got := OneChannel4Kb.ReadLatencyCycles(); got != 3 {
+		t.Errorf("4Kb latency = %d, want 3", got)
+	}
+	if got := FourChannel1Kb.ReadLatencyCycles(); got != 2 {
+		t.Errorf("1Kb latency = %d, want 2", got)
+	}
+}
+
+func TestSixTimesBandwidthAnchor(t *testing.T) {
+	// "For a four-channel 1Kb memory configuration ... bandwidth improves by
+	// 6x" relative to one-channel 4Kb.
+	ratio := FourChannel1Kb.ReadsPerCycle() / OneChannel4Kb.ReadsPerCycle()
+	if ratio != 6 {
+		t.Errorf("4x1Kb vs 1x4Kb bandwidth ratio = %v, want 6", ratio)
+	}
+}
+
+func TestTable2Anchors(t *testing.T) {
+	cases := []struct {
+		cfg   MemoryConfig
+		jjs   int
+		power float64
+	}{
+		{FourChannel1Kb, 170048, 2.1},
+		{TwoChannel2Kb, 168264, 1.1},
+		{EightChannel512, 163472, 5.6},
+	}
+	for _, c := range cases {
+		if got := c.cfg.JJCount(); got != c.jjs {
+			t.Errorf("%v JJCount = %d, want %d", c.cfg, got, c.jjs)
+		}
+		if got := c.cfg.PowerMicroWatts(); got != c.power {
+			t.Errorf("%v power = %v, want %v", c.cfg, got, c.power)
+		}
+	}
+	// Footnote 6: 4Kb ≈ 170,000 JJs, ~10µW, 1 cm².
+	if OneChannel4Kb.JJCount() != 170000 {
+		t.Errorf("4Kb JJ count = %d", OneChannel4Kb.JJCount())
+	}
+	if got := OneChannel4Kb.AreaCm2(); got != 1.0 {
+		t.Errorf("4Kb area = %v cm², want 1", got)
+	}
+}
+
+func TestTotalBitsConserved(t *testing.T) {
+	for _, c := range Configs4Kb() {
+		if c.TotalBits() != 4096 {
+			t.Errorf("%v total bits = %d, want 4096", c, c.TotalBits())
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	for _, c := range []MemoryConfig{{BankBits: 0, Channels: 1}, {BankBits: 64, Channels: 0}, {BankBits: -1, Channels: -1}} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v accepted", c)
+		}
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	cases := map[MemoryConfig]string{
+		FourChannel1Kb:  "4 Channel = 1Kb x 4",
+		TwoChannel2Kb:   "2 Channel = 2Kb x 2",
+		EightChannel512: "8 Channel = 512b x 8",
+	}
+	for cfg, want := range cases {
+		if got := cfg.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestLatencyMonotoneInCapacity(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ba, bb := int(a)+1, int(b)+1
+		ca := MemoryConfig{BankBits: ba, Channels: 1}
+		cb := MemoryConfig{BankBits: bb, Channels: 1}
+		if ba <= bb {
+			return ca.ReadLatencyCycles() <= cb.ReadLatencyCycles()
+		}
+		return ca.ReadLatencyCycles() >= cb.ReadLatencyCycles()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeCapacityLatencyGrows(t *testing.T) {
+	big := MemoryConfig{BankBits: 1 << 20, Channels: 1}
+	if big.ReadLatencyCycles() <= 3 {
+		t.Errorf("1Mb latency = %d, want > 3", big.ReadLatencyCycles())
+	}
+}
+
+func TestNonAnchorModelsArePlausible(t *testing.T) {
+	c := MemoryConfig{BankBits: 256, Channels: 2}
+	if c.JJCount() <= 0 {
+		t.Error("non-anchor JJ count non-positive")
+	}
+	// ~41 JJs/bit: 512 bits ≈ 21k JJs + overhead.
+	if c.JJCount() < 15000 || c.JJCount() > 40000 {
+		t.Errorf("512-bit config JJ count %d implausible", c.JJCount())
+	}
+	if c.PowerMicroWatts() <= 0 {
+		t.Error("non-anchor power non-positive")
+	}
+}
+
+func TestBandwidthBitsPerSec(t *testing.T) {
+	// 4ch 1Kb, 4-bit words: 2 reads/cycle × 4 bits × 10 GHz = 80 Gbit/s.
+	got := FourChannel1Kb.BandwidthBitsPerSec(4)
+	if got != 80e9 {
+		t.Errorf("bandwidth = %v, want 8e10", got)
+	}
+}
+
+func TestCMOSComparison(t *testing.T) {
+	if got := TwoChannel2Kb.CMOSEquivalentPowerMicroWatts(); got != 1100 {
+		t.Errorf("CMOS equivalent = %v, want 1100", got)
+	}
+}

@@ -1,0 +1,55 @@
+package microcode_test
+
+import (
+	"fmt"
+
+	"quest/internal/jj"
+	"quest/internal/microcode"
+	"quest/internal/surface"
+)
+
+// ExampleQubitsServiced reproduces the Figure 11 headline: at a fixed 4 Kb
+// JJ memory, the unit-cell organization services ~70× the qubits of the
+// conventional RAM design.
+func ExampleQubitsServiced() {
+	ram := microcode.QubitsServiced(microcode.DesignRAM, surface.Steane,
+		jj.FourChannel1Kb, microcode.InstructionWindowNs)
+	uc := microcode.QubitsServiced(microcode.DesignUnitCell, surface.Steane,
+		jj.FourChannel1Kb, microcode.InstructionWindowNs)
+	fmt.Println("RAM:", ram, "qubits")
+	fmt.Println("unit cell:", uc, "qubits")
+	fmt.Println("improvement ≥ 50x:", uc/ram >= 50)
+	// Output:
+	// RAM: 45 qubits
+	// unit cell: 3200 qubits
+	// improvement ≥ 50x: true
+}
+
+// ExampleCapacityBits shows the three scaling laws of Figure 10.
+func ExampleCapacityBits() {
+	for _, n := range []int{100, 1000} {
+		fmt.Printf("n=%d: RAM=%d FIFO=%d unit-cell=%d\n", n,
+			microcode.CapacityBits(microcode.DesignRAM, surface.Steane, n),
+			microcode.CapacityBits(microcode.DesignFIFO, surface.Steane, n),
+			microcode.CapacityBits(microcode.DesignUnitCell, surface.Steane, n))
+	}
+	// Output:
+	// n=100: RAM=9900 FIFO=3600 unit-cell=592
+	// n=1000: RAM=126000 FIFO=36000 unit-cell=592
+}
+
+// ExampleNewStore demonstrates autonomous QECC replay: program once, replay
+// forever, zero bus traffic.
+func ExampleNewStore() {
+	lat := surface.NewLattice(5, 5)
+	store := microcode.NewStore(microcode.DesignUnitCell, surface.Steane, lat)
+	mask := surface.NewMask(lat)
+	words := store.ReplayCycle(mask)
+	fmt.Println("words per cycle:", len(words))
+	fmt.Println("capacity bits:", store.CapacityBits())
+	fmt.Println("bits streamed internally:", store.BitsStreamed())
+	// Output:
+	// words per cycle: 9
+	// capacity bits: 592
+	// bits streamed internally: 900
+}

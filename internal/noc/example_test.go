@@ -1,0 +1,28 @@
+package noc_test
+
+import (
+	"fmt"
+
+	"quest/internal/noc"
+)
+
+// ExampleMesh routes packets to two tiles of a 2×2 mesh and reports the
+// latency statistics: delivery time depends on distance and load, which is
+// why QECC instructions can never ride this network (§3.4) while logical
+// instructions happily do.
+func ExampleMesh() {
+	m := noc.NewMesh(2, 2)
+	m.Inject(noc.Packet{Dst: 0})
+	m.Inject(noc.Packet{Dst: 3}) // far corner
+	all, ok := m.Drain(20)
+	fmt.Println("drained:", ok)
+	fmt.Println("tile 0 received:", len(all[0]))
+	fmt.Println("tile 3 received:", len(all[3]))
+	_, delivered, _, max := m.Stats()
+	fmt.Println("delivered:", delivered, "max latency:", max)
+	// Output:
+	// drained: true
+	// tile 0 received: 1
+	// tile 3 received: 1
+	// delivered: 2 max latency: 3
+}

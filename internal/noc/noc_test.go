@@ -1,0 +1,200 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroLoadLatencyEqualsHopDistance(t *testing.T) {
+	m := NewMesh(4, 4)
+	for dst := 0; dst < m.Tiles(); dst++ {
+		mesh := NewMesh(4, 4)
+		if err := mesh.Inject(Packet{Dst: dst}); err != nil {
+			t.Fatal(err)
+		}
+		all, ok := mesh.Drain(100)
+		if !ok {
+			t.Fatalf("dst %d: did not drain", dst)
+		}
+		if len(all[dst]) != 1 {
+			t.Fatalf("dst %d: delivered %d packets", dst, len(all[dst]))
+		}
+		_, _, mean, max := mesh.Stats()
+		want := float64(mesh.HopDistance(dst))
+		if mean != want || max != int(want) {
+			t.Errorf("dst %d: latency %.0f/%d, want %v", dst, mean, max, want)
+		}
+	}
+	_ = m
+}
+
+func TestContentionQueuesPackets(t *testing.T) {
+	// 10 packets to the same far corner share links: latency must spread.
+	m := NewMesh(4, 4)
+	corner := m.Tiles() - 1
+	for i := 0; i < 10; i++ {
+		if err := m.Inject(Packet{Dst: corner, Payload: [2]byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, ok := m.Drain(200)
+	if !ok {
+		t.Fatal("did not drain")
+	}
+	if len(all[corner]) != 10 {
+		t.Fatalf("delivered %d", len(all[corner]))
+	}
+	_, _, mean, max := m.Stats()
+	zeroLoad := float64(m.HopDistance(corner))
+	if mean <= zeroLoad {
+		t.Errorf("mean latency %.1f not above zero-load %v under contention", mean, zeroLoad)
+	}
+	if max < int(zeroLoad)+9 {
+		t.Errorf("max latency %d too small for 10-deep serialization", max)
+	}
+	// FIFO: payload order preserved to a single destination.
+	for i, p := range all[corner] {
+		if int(p.Payload[0]) != i {
+			t.Errorf("delivery %d carried payload %d — order broken", i, p.Payload[0])
+		}
+	}
+}
+
+func TestDisjointPathsDontContend(t *testing.T) {
+	// Packets to different first-hop directions proceed in parallel.
+	m := NewMesh(3, 3)
+	if err := m.Inject(Packet{Dst: 1}); err != nil { // +x
+		t.Fatal(err)
+	}
+	if err := m.Inject(Packet{Dst: 3}); err != nil { // +y
+		t.Fatal(err)
+	}
+	_, ok := m.Drain(10)
+	if !ok {
+		t.Fatal("did not drain")
+	}
+	_, _, _, max := m.Stats()
+	if max != 2 {
+		t.Errorf("max latency %d, want 2 (no contention on disjoint links)", max)
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	m := NewMesh(2, 2)
+	if err := m.Inject(Packet{Dst: 9}); err == nil {
+		t.Error("out-of-mesh destination accepted")
+	}
+	if err := m.Inject(Packet{Dst: -1}); err == nil {
+		t.Error("negative destination accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid mesh accepted")
+		}
+	}()
+	NewMesh(0, 3)
+}
+
+// TestPropertyConservation: every injected packet is delivered exactly once
+// to its destination, for random traffic patterns.
+func TestPropertyConservation(t *testing.T) {
+	f := func(dsts []uint8, wRaw, hRaw uint8) bool {
+		w := 1 + int(wRaw)%5
+		h := 1 + int(hRaw)%5
+		m := NewMesh(w, h)
+		want := map[int]int{}
+		if len(dsts) > 50 {
+			dsts = dsts[:50]
+		}
+		for i, d := range dsts {
+			dst := int(d) % m.Tiles()
+			if err := m.Inject(Packet{Dst: dst, Payload: [2]byte{byte(i), byte(i >> 8)}}); err != nil {
+				return false
+			}
+			want[dst]++
+		}
+		all, ok := m.Drain(10_000)
+		if !ok {
+			return false
+		}
+		for dst, n := range want {
+			if len(all[dst]) != n {
+				return false
+			}
+		}
+		injected, delivered, _, _ := m.Stats()
+		return injected == delivered && m.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLatencyIsNonDeterministicButBounded: the property the paper's
+// determinism argument hinges on — logical delivery latency varies with
+// load, which is precisely why QECC cannot ride this network.
+func TestLatencyIsNonDeterministicButBounded(t *testing.T) {
+	light := NewMesh(4, 4)
+	light.Inject(Packet{Dst: 15})
+	light.Drain(100)
+	_, _, lightMean, _ := light.Stats()
+
+	heavy := NewMesh(4, 4)
+	for i := 0; i < 40; i++ {
+		heavy.Inject(Packet{Dst: 15})
+	}
+	heavy.Drain(1000)
+	_, _, heavyMean, heavyMax := heavy.Stats()
+
+	if heavyMean <= lightMean {
+		t.Errorf("load did not increase latency: %.1f vs %.1f", heavyMean, lightMean)
+	}
+	// But bounded: serialization of 40 packets over one ejection link.
+	if heavyMax > light.HopDistance(15)+40 {
+		t.Errorf("max latency %d exceeds serialization bound", heavyMax)
+	}
+}
+
+func TestDegenerateMeshShapes(t *testing.T) {
+	// 1×N and N×1 meshes route purely in one dimension.
+	for _, dims := range [][2]int{{1, 5}, {5, 1}, {1, 1}} {
+		m := NewMesh(dims[0], dims[1])
+		for d := 0; d < m.Tiles(); d++ {
+			if err := m.Inject(Packet{Dst: d}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		all, ok := m.Drain(100)
+		if !ok {
+			t.Fatalf("%v: did not drain", dims)
+		}
+		total := 0
+		for _, pkts := range all {
+			total += len(pkts)
+		}
+		if total != m.Tiles() {
+			t.Errorf("%v: delivered %d of %d", dims, total, m.Tiles())
+		}
+	}
+}
+
+func TestLinkCapacityWidensThroughput(t *testing.T) {
+	run := func(capacity int) int {
+		m := NewMesh(4, 1)
+		m.LinkCapacity = capacity
+		for i := 0; i < 16; i++ {
+			m.Inject(Packet{Dst: 3})
+		}
+		_, ok := m.Drain(200)
+		if !ok {
+			t.Fatal("did not drain")
+		}
+		_, _, _, max := m.Stats()
+		return max
+	}
+	narrow := run(1)
+	wide := run(4)
+	if wide >= narrow {
+		t.Errorf("4-wide links max latency %d not below serial %d", wide, narrow)
+	}
+}

@@ -1,0 +1,26 @@
+package place_test
+
+import (
+	"fmt"
+
+	"quest/internal/compiler"
+	"quest/internal/place"
+)
+
+// ExamplePlace co-locates interacting qubits so braids stay tile-local.
+func ExamplePlace() {
+	p := compiler.NewProgram(4)
+	p.CNOT(0, 3).CNOT(0, 3).CNOT(1, 2)
+	asg, err := place.Place(p, 2, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("cut CNOTs:", asg.CutCNOTs)
+	fmt.Println("0 and 3 share a tile:", asg.TileOf[0] == asg.TileOf[3])
+	fmt.Println("1 and 2 share a tile:", asg.TileOf[1] == asg.TileOf[2])
+	// Output:
+	// cut CNOTs: 0
+	// 0 and 3 share a tile: true
+	// 1 and 2 share a tile: true
+}

@@ -1,0 +1,29 @@
+package qasm_test
+
+import (
+	"fmt"
+
+	"quest/internal/qasm"
+)
+
+// ExampleParseString assembles a textual program and prints its shape.
+func ExampleParseString() {
+	p, err := qasm.ParseString(`
+		prep0 q0
+		h q0          ; superpose
+		cnot q0, q1   # entangle
+		measz q0
+	`, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	text, _ := qasm.Format(p)
+	fmt.Print(text)
+	// Output:
+	// ; 2 logical qubits, 4 instructions
+	// prep0 q0
+	// h q0
+	// cnot q0, q1
+	// measz q0
+}

@@ -1,0 +1,38 @@
+package qasm
+
+import (
+	"testing"
+)
+
+// FuzzParse hardens the assembler: arbitrary text must never panic, and any
+// text that parses must disassemble and re-parse to the identical program
+// (the parse→format fixed point).
+func FuzzParse(f *testing.F) {
+	f.Add("prep0 q0\nh q0\nmeasz q0\n")
+	f.Add("cnot q0, q1\n")
+	f.Add("; comment\nrz q0, 1.5, 1e-4\n")
+	f.Add("h\n")
+	f.Add("\x00\x01\x02")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseString(src, 4)
+		if err != nil {
+			return
+		}
+		text, err := Format(p)
+		if err != nil {
+			t.Fatalf("parsed program failed to format: %v", err)
+		}
+		p2, err := ParseString(text, 4)
+		if err != nil {
+			t.Fatalf("formatted program failed to re-parse: %v\n%s", err, text)
+		}
+		if len(p.Instrs) != len(p2.Instrs) {
+			t.Fatalf("round trip changed length: %d vs %d", len(p.Instrs), len(p2.Instrs))
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i] != p2.Instrs[i] {
+				t.Fatalf("instruction %d changed across round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,208 @@
+// Package qasm is the textual assembly format for logical programs — the
+// human-readable face of the "quantum executable" the host offloads to the
+// control processor (§2.2). One instruction per line, mnemonics matching the
+// logical ISA, with labels-free straight-line semantics (fault-tolerant
+// programs at this layer are unrolled; control flow lives on the host).
+//
+// Grammar (per line, after comment stripping):
+//
+//	prep0 q3           ; transverse |0> preparation
+//	prep+ q0
+//	h q1
+//	x q2 / z q2 / s q2 / t q2
+//	cnot q0, q4        ; braided logical CNOT
+//	measz q0 / measx q1
+//	rz q2, 1.5708, 1e-6 ; host-side Clifford+T synthesis (angle, tolerance)
+//	; comments run to end of line, # works too
+//
+// Parse errors carry line numbers. The assembler and disassembler round-trip
+// (modulo comments and rz, which expands at assembly time per footnote 7 of
+// the paper: rotations are decomposed before they reach the MCEs).
+package qasm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"quest/internal/compiler"
+	"quest/internal/isa"
+)
+
+// ParseError is a source-located assembly error.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string { return fmt.Sprintf("qasm: line %d: %s", e.Line, e.Msg) }
+
+// Parse assembles a text program over a register of n logical qubits.
+func Parse(r io.Reader, n int) (*compiler.Program, error) {
+	p := compiler.NewProgram(n)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+		if len(fields) == 0 {
+			continue
+		}
+		if err := parseInstr(p, fields, lineNo); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("qasm: read: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("qasm: %w", err)
+	}
+	return p, nil
+}
+
+func parseInstr(p *compiler.Program, fields []string, line int) (err error) {
+	defer func() {
+		// The program builder panics on range errors; convert to located
+		// parse errors at this boundary.
+		if r := recover(); r != nil {
+			err = &ParseError{Line: line, Msg: fmt.Sprint(r)}
+		}
+	}()
+	op := strings.ToLower(fields[0])
+	qubit := func(idx int) (int, error) {
+		if idx >= len(fields) {
+			return 0, &ParseError{Line: line, Msg: fmt.Sprintf("%s: missing operand %d", op, idx)}
+		}
+		s := strings.TrimPrefix(strings.ToLower(fields[idx]), "q")
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, &ParseError{Line: line, Msg: fmt.Sprintf("%s: bad qubit %q", op, fields[idx])}
+		}
+		return v, nil
+	}
+	need := func(n int) error {
+		if len(fields) != n {
+			return &ParseError{Line: line, Msg: fmt.Sprintf("%s: want %d operands, got %d", op, n-1, len(fields)-1)}
+		}
+		return nil
+	}
+	switch op {
+	case "prep0", "prep+", "prepplus", "h", "x", "z", "s", "t", "measz", "measx":
+		if err := need(2); err != nil {
+			return err
+		}
+		q, err := qubit(1)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case "prep0":
+			p.Prep0(q)
+		case "prep+", "prepplus":
+			p.PrepPlus(q)
+		case "h":
+			p.H(q)
+		case "x":
+			p.X(q)
+		case "z":
+			p.Z(q)
+		case "s":
+			p.S(q)
+		case "t":
+			p.T(q)
+		case "measz":
+			p.MeasZ(q)
+		case "measx":
+			p.MeasX(q)
+		}
+	case "cnot":
+		if err := need(3); err != nil {
+			return err
+		}
+		c, err := qubit(1)
+		if err != nil {
+			return err
+		}
+		t, err := qubit(2)
+		if err != nil {
+			return err
+		}
+		p.CNOT(c, t)
+	case "rz":
+		if err := need(4); err != nil {
+			return err
+		}
+		q, err := qubit(1)
+		if err != nil {
+			return err
+		}
+		theta, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return &ParseError{Line: line, Msg: fmt.Sprintf("rz: bad angle %q", fields[2])}
+		}
+		eps, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil || eps <= 0 || eps >= 1 {
+			return &ParseError{Line: line, Msg: fmt.Sprintf("rz: bad tolerance %q", fields[3])}
+		}
+		p.DecomposeRz(q, theta, eps)
+	default:
+		return &ParseError{Line: line, Msg: fmt.Sprintf("unknown mnemonic %q", op)}
+	}
+	return nil
+}
+
+// ParseString assembles from a string.
+func ParseString(src string, n int) (*compiler.Program, error) {
+	return Parse(strings.NewReader(src), n)
+}
+
+// mnemonics for disassembly, by logical opcode.
+var mnemonics = map[isa.LogicalOpcode]string{
+	isa.LPrep0:    "prep0",
+	isa.LPrepPlus: "prep+",
+	isa.LH:        "h",
+	isa.LX:        "x",
+	isa.LZ:        "z",
+	isa.LS:        "s",
+	isa.LT:        "t",
+	isa.LMeasZ:    "measz",
+	isa.LMeasX:    "measx",
+	isa.LCNOT:     "cnot",
+}
+
+// Write disassembles a program to w in the textual format. Instructions
+// without a textual mnemonic (cache/sync control plane) are rejected: they
+// are runtime artifacts, not program text.
+func Write(w io.Writer, p *compiler.Program) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "; %d logical qubits, %d instructions\n", p.NumLogical, len(p.Instrs))
+	for i, in := range p.Instrs {
+		m, ok := mnemonics[in.Op]
+		if !ok {
+			return fmt.Errorf("qasm: instruction %d (%s) has no textual form", i, in.Op)
+		}
+		if in.Op == isa.LCNOT {
+			fmt.Fprintf(bw, "%s q%d, q%d\n", m, in.Target, in.Arg)
+		} else {
+			fmt.Fprintf(bw, "%s q%d\n", m, in.Target)
+		}
+	}
+	return bw.Flush()
+}
+
+// Format disassembles to a string (panics only on marshalling bugs).
+func Format(p *compiler.Program) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, p); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,190 @@
+package qasm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"quest/internal/compiler"
+	"quest/internal/isa"
+)
+
+const sample = `
+; Bell pair with a T sprinkled in
+prep0 q0
+prep0 q1        ; second qubit
+h q0
+t q0
+cnot q0, q1     # braided
+measz q0
+measz q1
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := ParseString(sample, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 7 {
+		t.Fatalf("instructions = %d, want 7", len(p.Instrs))
+	}
+	want := []isa.LogicalOpcode{
+		isa.LPrep0, isa.LPrep0, isa.LH, isa.LT, isa.LCNOT, isa.LMeasZ, isa.LMeasZ,
+	}
+	for i, op := range want {
+		if p.Instrs[i].Op != op {
+			t.Errorf("instr %d = %s, want %s", i, p.Instrs[i].Op, op)
+		}
+	}
+	if p.Instrs[4].Target != 0 || p.Instrs[4].Arg != 1 {
+		t.Errorf("cnot operands = %d,%d", p.Instrs[4].Target, p.Instrs[4].Arg)
+	}
+}
+
+func TestParseAllMnemonics(t *testing.T) {
+	src := `
+prep0 q0
+prep+ q1
+prepplus q2
+h q0
+x q1
+z q2
+s q0
+t q1
+measx q2
+measz q0
+cnot q1, q2
+rz q0, 3.14159, 1e-3
+`
+	p, err := ParseString(src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TCount() < 1+compiler.RzTCount(1e-3) {
+		t.Errorf("rz did not expand: T count %d", p.TCount())
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		line int
+		frag string
+	}{
+		{"h q0\nbogus q1\n", 2, "unknown mnemonic"},
+		{"\n\ncnot q0\n", 3, "want 2 operands"},
+		{"h qx\n", 1, "bad qubit"},
+		{"h q0 q1\n", 1, "want 1 operands"},
+		{"rz q0, abc, 1e-3\n", 1, "bad angle"},
+		{"rz q0, 1.0, 7\n", 1, "bad tolerance"},
+		{"h q99\n", 1, "outside register"},
+		{"cnot q1, q1\n", 1, "control equals target"},
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.src, 4)
+		if err == nil {
+			t.Errorf("%q: accepted", c.src)
+			continue
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Errorf("%q: error %v is not a ParseError", c.src, err)
+			continue
+		}
+		if pe.Line != c.line {
+			t.Errorf("%q: line %d, want %d", c.src, pe.Line, c.line)
+		}
+		if !strings.Contains(pe.Error(), c.frag) {
+			t.Errorf("%q: message %q missing %q", c.src, pe.Error(), c.frag)
+		}
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	p, err := ParseString("; only comments\n\n# and hashes\n   \n", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 0 {
+		t.Errorf("instructions = %d", len(p.Instrs))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p, err := ParseString(sample, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Format(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParseString(text, 2)
+	if err != nil {
+		t.Fatalf("re-parse of disassembly failed: %v\n%s", err, text)
+	}
+	if len(p.Instrs) != len(p2.Instrs) {
+		t.Fatalf("lengths differ: %d vs %d", len(p.Instrs), len(p2.Instrs))
+	}
+	for i := range p.Instrs {
+		if p.Instrs[i] != p2.Instrs[i] {
+			t.Errorf("instr %d: %v vs %v", i, p.Instrs[i], p2.Instrs[i])
+		}
+	}
+}
+
+func TestPropertyRandomProgramsRoundTrip(t *testing.T) {
+	f := func(seedOps []uint8) bool {
+		p := compiler.NewProgram(8)
+		for _, b := range seedOps {
+			switch b % 11 {
+			case 0:
+				p.Prep0(int(b) % 8)
+			case 1:
+				p.PrepPlus(int(b) % 8)
+			case 2:
+				p.H(int(b) % 8)
+			case 3:
+				p.X(int(b) % 8)
+			case 4:
+				p.Z(int(b) % 8)
+			case 5:
+				p.S(int(b) % 8)
+			case 6:
+				p.T(int(b) % 8)
+			case 7:
+				p.MeasZ(int(b) % 8)
+			case 8:
+				p.MeasX(int(b) % 8)
+			default:
+				a := int(b) % 8
+				p.CNOT(a, (a+1)%8)
+			}
+		}
+		text, err := Format(p)
+		if err != nil {
+			return false
+		}
+		p2, err := ParseString(text, 8)
+		if err != nil || len(p2.Instrs) != len(p.Instrs) {
+			return false
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i] != p2.Instrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteRejectsControlPlane(t *testing.T) {
+	p := compiler.NewProgram(2)
+	p.Instrs = append(p.Instrs, isa.LogicalInstr{Op: isa.LSyncToken})
+	if _, err := Format(p); err == nil {
+		t.Error("sync token disassembled")
+	}
+}

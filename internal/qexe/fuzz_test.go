@@ -1,0 +1,39 @@
+package qexe
+
+import (
+	"bytes"
+	"testing"
+
+	"quest/internal/compiler"
+)
+
+// FuzzDecode hardens the executable loader: arbitrary bytes must never
+// panic, and any input that decodes successfully must re-encode to a
+// byte-identical image (canonical form).
+func FuzzDecode(f *testing.F) {
+	p := compiler.NewProgram(3)
+	p.Prep0(0).H(1).CNOT(0, 2).T(1).MeasZ(0)
+	exe := FromProgram(p)
+	exe.AddCache(1, p.Instrs)
+	var seed bytes.Buffer
+	if err := exe.Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("QXE1"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.Encode(&out); err != nil {
+			t.Fatalf("decoded executable failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("decode/encode not canonical: %d vs %d bytes", out.Len(), len(data))
+		}
+	})
+}

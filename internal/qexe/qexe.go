@@ -1,0 +1,243 @@
+// Package qexe defines the binary "quantum executable" format the host
+// offloads to the control processor (§2.2): the logical program stream plus
+// the pre-packaged loop bodies (distillation rounds, outer-code EC gadgets)
+// destined for the MCEs' software-managed instruction caches. The cryogenic
+// DRAM at 77K holds executables in this format; the master controller
+// demand-streams the program section and stages the cache sections once.
+//
+// Layout (big-endian):
+//
+//	offset  size  field
+//	0       4     magic "QXE1"
+//	4       2     format version (currently 1)
+//	6       2     logical register size
+//	8       4     program instruction count P
+//	12      2     cache body count B
+//	14      —     B × [1 byte slot][2 bytes length L][L × 2-byte instrs]
+//	...     —     P × 2-byte encoded logical instructions
+//	end-4   4     CRC-32 (IEEE) of everything before it
+//
+// Decode verifies magic, version, CRC and instruction validity, so a
+// corrupted executable is rejected before anything reaches a qubit.
+package qexe
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"quest/internal/compiler"
+	"quest/internal/isa"
+)
+
+// Magic identifies the format.
+var Magic = [4]byte{'Q', 'X', 'E', '1'}
+
+// Version is the current format version.
+const Version = 1
+
+// Limits guard against hostile headers.
+const (
+	MaxProgramInstrs = 1 << 28
+	MaxCacheBodies   = 256
+	MaxBodyInstrs    = 1 << 16
+)
+
+// CacheBody is one pre-packaged loop destined for an MCE cache slot.
+type CacheBody struct {
+	Slot int
+	Body []isa.LogicalInstr
+}
+
+// Executable is the decoded form.
+type Executable struct {
+	NumLogical int
+	Program    []isa.LogicalInstr
+	Caches     []CacheBody
+}
+
+// FromProgram wraps a compiled program (no cache sections).
+func FromProgram(p *compiler.Program) *Executable {
+	return &Executable{NumLogical: p.NumLogical, Program: append([]isa.LogicalInstr(nil), p.Instrs...)}
+}
+
+// AddCache appends a cache section.
+func (e *Executable) AddCache(slot int, body []isa.LogicalInstr) {
+	e.Caches = append(e.Caches, CacheBody{Slot: slot, Body: append([]isa.LogicalInstr(nil), body...)})
+}
+
+// Validate checks structural invariants before encoding.
+func (e *Executable) Validate() error {
+	if e.NumLogical < 1 || e.NumLogical > 64 {
+		return fmt.Errorf("qexe: register size %d outside [1,64]", e.NumLogical)
+	}
+	if len(e.Program) > MaxProgramInstrs {
+		return fmt.Errorf("qexe: program too large (%d instrs)", len(e.Program))
+	}
+	if len(e.Caches) > MaxCacheBodies {
+		return fmt.Errorf("qexe: too many cache bodies (%d)", len(e.Caches))
+	}
+	for i, c := range e.Caches {
+		if c.Slot < 0 || c.Slot > 255 {
+			return fmt.Errorf("qexe: cache %d slot %d outside [0,255]", i, c.Slot)
+		}
+		if len(c.Body) == 0 || len(c.Body) > MaxBodyInstrs {
+			return fmt.Errorf("qexe: cache %d body size %d invalid", i, len(c.Body))
+		}
+	}
+	return nil
+}
+
+// Encode serializes the executable.
+func (e *Executable) Encode(w io.Writer) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	write16 := func(v int) { binary.Write(&buf, binary.BigEndian, uint16(v)) }
+	write32 := func(v int) { binary.Write(&buf, binary.BigEndian, uint32(v)) }
+	write16(Version)
+	write16(e.NumLogical)
+	write32(len(e.Program))
+	write16(len(e.Caches))
+	for _, c := range e.Caches {
+		buf.WriteByte(byte(c.Slot))
+		write16(len(c.Body))
+		for _, in := range c.Body {
+			enc := in.Encode()
+			buf.Write(enc[:])
+		}
+	}
+	for _, in := range e.Program {
+		enc := in.Encode()
+		buf.Write(enc[:])
+	}
+	binary.Write(&buf, binary.BigEndian, crc32.ChecksumIEEE(buf.Bytes()))
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// EncodedSize returns the byte size Encode will produce.
+func (e *Executable) EncodedSize() int {
+	n := 4 + 2 + 2 + 4 + 2
+	for _, c := range e.Caches {
+		n += 1 + 2 + len(c.Body)*isa.LogicalInstrBytes
+	}
+	n += len(e.Program)*isa.LogicalInstrBytes + 4
+	return n
+}
+
+// Decode parses and verifies an executable.
+func Decode(r io.Reader) (*Executable, error) {
+	raw, err := io.ReadAll(io.LimitReader(r, int64(MaxProgramInstrs)*4))
+	if err != nil {
+		return nil, fmt.Errorf("qexe: read: %w", err)
+	}
+	if len(raw) < 4+2+2+4+2+4 {
+		return nil, fmt.Errorf("qexe: truncated (%d bytes)", len(raw))
+	}
+	if !bytes.Equal(raw[:4], Magic[:]) {
+		return nil, fmt.Errorf("qexe: bad magic %q", raw[:4])
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return nil, fmt.Errorf("qexe: CRC mismatch")
+	}
+	cur := raw[4:]
+	read16 := func() int {
+		v := int(binary.BigEndian.Uint16(cur))
+		cur = cur[2:]
+		return v
+	}
+	if v := read16(); v != Version {
+		return nil, fmt.Errorf("qexe: unsupported version %d", v)
+	}
+	e := &Executable{NumLogical: read16()}
+	progCount := int(binary.BigEndian.Uint32(cur))
+	cur = cur[4:]
+	cacheCount := read16()
+	if progCount > MaxProgramInstrs || cacheCount > MaxCacheBodies {
+		return nil, fmt.Errorf("qexe: implausible header (%d instrs, %d caches)", progCount, cacheCount)
+	}
+	readInstrs := func(n int) ([]isa.LogicalInstr, error) {
+		need := n * isa.LogicalInstrBytes
+		if len(cur) < need+4 { // +4: trailing CRC must remain
+			return nil, fmt.Errorf("qexe: truncated instruction section")
+		}
+		out := make([]isa.LogicalInstr, n)
+		for i := range out {
+			var w [isa.LogicalInstrBytes]byte
+			copy(w[:], cur[:2])
+			cur = cur[2:]
+			in, err := isa.DecodeLogical(w)
+			if err != nil {
+				return nil, fmt.Errorf("qexe: instruction %d: %w", i, err)
+			}
+			out[i] = in
+		}
+		return out, nil
+	}
+	for b := 0; b < cacheCount; b++ {
+		if len(cur) < 3+4 {
+			return nil, fmt.Errorf("qexe: truncated cache header")
+		}
+		slot := int(cur[0])
+		cur = cur[1:]
+		length := read16()
+		if length == 0 || length > MaxBodyInstrs {
+			return nil, fmt.Errorf("qexe: cache %d length %d invalid", b, length)
+		}
+		instrs, err := readInstrs(length)
+		if err != nil {
+			return nil, err
+		}
+		e.Caches = append(e.Caches, CacheBody{Slot: slot, Body: instrs})
+	}
+	prog, err := readInstrs(progCount)
+	if err != nil {
+		return nil, err
+	}
+	e.Program = prog
+	if len(cur) != 4 {
+		return nil, fmt.Errorf("qexe: %d trailing bytes", len(cur)-4)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ToProgram converts the program section back into the compiler IR.
+func (e *Executable) ToProgram() (*compiler.Program, error) {
+	p := compiler.NewProgram(e.NumLogical)
+	p.Instrs = append(p.Instrs, e.Program...)
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("qexe: %w", err)
+	}
+	return p, nil
+}
+
+// Summary returns a human-readable description of the executable — what
+// `questasm info` prints.
+func (e *Executable) Summary() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "quantum executable (qexe v%d)\n", Version)
+	fmt.Fprintf(&b, "  logical register: %d qubits\n", e.NumLogical)
+	fmt.Fprintf(&b, "  program section:  %d instructions (%d bytes on the bus)\n",
+		len(e.Program), len(e.Program)*isa.LogicalInstrBytes)
+	tCount := 0
+	for _, in := range e.Program {
+		if in.Op == isa.LT {
+			tCount++
+		}
+	}
+	fmt.Fprintf(&b, "  T gates:          %d\n", tCount)
+	for _, c := range e.Caches {
+		fmt.Fprintf(&b, "  cache section:    slot %d, %d instructions (shipped once)\n", c.Slot, len(c.Body))
+	}
+	fmt.Fprintf(&b, "  encoded size:     %d bytes\n", e.EncodedSize())
+	return b.String()
+}

@@ -1,0 +1,29 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"quest/internal/compiler"
+	"quest/internal/sched"
+)
+
+// ExampleSchedule computes the ILP of a small program: two independent
+// chains parallelize, the braid serializes its two qubits.
+func ExampleSchedule() {
+	p := compiler.NewProgram(4)
+	p.H(0).H(1).H(2).H(3) // one parallel wave
+	p.CNOT(0, 1)          // braid: occupies q0,q1 for CNOTLatency slots
+	p.H(2).H(3)           // meanwhile the other chain continues
+	res, err := sched.Schedule(p, sched.Config{Width: 4, CNOTLatency: 3, TLatency: 2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("makespan:", res.Makespan, "slots")
+	fmt.Println("critical path:", res.CriticalPath)
+	fmt.Printf("ILP: %.1f\n", res.ILP)
+	// Output:
+	// makespan: 4 slots
+	// critical path: 4
+	// ILP: 2.2
+}

@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"quest/internal/compiler"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+	for _, c := range []Config{{Width: 0, CNOTLatency: 1, TLatency: 1}, {Width: 1, TLatency: 1}, {Width: 1, CNOTLatency: 1}} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v accepted", c)
+		}
+	}
+}
+
+func TestChainIsSerial(t *testing.T) {
+	// A dependency chain on one qubit cannot parallelize.
+	p := compiler.NewProgram(1)
+	for i := 0; i < 10; i++ {
+		p.H(0)
+	}
+	r, err := Schedule(p, Config{Width: 8, CNOTLatency: 3, TLatency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 10 || r.CriticalPath != 10 {
+		t.Errorf("makespan/cp = %d/%d, want 10/10", r.Makespan, r.CriticalPath)
+	}
+	if r.ILP != 1 {
+		t.Errorf("ILP = %v, want 1", r.ILP)
+	}
+	if err := r.Validate(p, Config{Width: 8, CNOTLatency: 3, TLatency: 2}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndependentOpsFillWidth(t *testing.T) {
+	p := compiler.NewProgram(8)
+	for q := 0; q < 8; q++ {
+		p.H(q)
+	}
+	cfg := Config{Width: 4, CNOTLatency: 3, TLatency: 2}
+	r, err := Schedule(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 2 {
+		t.Errorf("makespan = %d, want 2 (8 ops at width 4)", r.Makespan)
+	}
+	if r.ILP != 4 {
+		t.Errorf("ILP = %v, want 4", r.ILP)
+	}
+	if r.CriticalPath != 1 {
+		t.Errorf("critical path = %d, want 1", r.CriticalPath)
+	}
+}
+
+func TestCNOTLatencySerializesBothQubits(t *testing.T) {
+	p := compiler.NewProgram(2)
+	p.CNOT(0, 1).H(0).H(1)
+	cfg := Config{Width: 4, CNOTLatency: 5, TLatency: 2}
+	r, err := Schedule(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Slot[1] != 5 || r.Slot[2] != 5 {
+		t.Errorf("post-braid ops at slots %d,%d, want 5,5", r.Slot[1], r.Slot[2])
+	}
+	if err := r.Validate(p, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperILPBand(t *testing.T) {
+	// A random circuit in the style the paper's workloads exhibit (frequent
+	// cross-qubit dependencies, every third-ish gate a T) lands in the 2-3
+	// parallel instruction band at realistic width.
+	rng := rand.New(rand.NewSource(4))
+	p := compiler.NewProgram(7)
+	for i := 0; i < 600; i++ {
+		q := rng.Intn(7)
+		switch i % 3 {
+		case 0:
+			p.T(q)
+		case 1:
+			p.H(q)
+		default:
+			p.CNOT(q, (q+1+rng.Intn(6))%7)
+		}
+	}
+	r, err := Schedule(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ILP < 2 || r.ILP > 3.5 {
+		t.Errorf("achieved ILP %.2f outside the paper's 2-3 band", r.ILP)
+	}
+}
+
+func TestScheduleRejectsInvalidInputs(t *testing.T) {
+	p := compiler.NewProgram(2)
+	p.H(0)
+	if _, err := Schedule(p, Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	bad := compiler.NewProgram(2)
+	bad.Instrs = append(bad.Instrs, p.Instrs[0])
+	bad.Instrs[0].Target = 9
+	if _, err := Schedule(bad, DefaultConfig()); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestValidateCatchesBrokenSchedules(t *testing.T) {
+	p := compiler.NewProgram(2)
+	p.H(0).H(0)
+	cfg := Config{Width: 1, CNOTLatency: 1, TLatency: 1}
+	r, _ := Schedule(p, cfg)
+	r.Slot[1] = 0 // violate both dependency and width
+	if err := r.Validate(p, cfg); err == nil {
+		t.Error("broken schedule validated")
+	}
+	short := Result{Slot: []int{0}}
+	if err := short.Validate(p, cfg); err == nil {
+		t.Error("truncated schedule validated")
+	}
+}
+
+// TestPropertyScheduleAlwaysValid: any random program yields a schedule that
+// passes validation, with makespan ≥ critical path and ≥ ceil(work/width).
+func TestPropertyScheduleAlwaysValid(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(ops []uint8, widthRaw uint8) bool {
+		c := cfg
+		c.Width = 1 + int(widthRaw)%8
+		p := compiler.NewProgram(10)
+		for _, b := range ops {
+			q := int(b) % 10
+			switch b % 4 {
+			case 0:
+				p.H(q)
+			case 1:
+				p.T(q)
+			case 2:
+				p.X(q)
+			default:
+				p.CNOT(q, (q+1)%10)
+			}
+		}
+		r, err := Schedule(p, c)
+		if err != nil {
+			return false
+		}
+		if err := r.Validate(p, c); err != nil {
+			return false
+		}
+		if r.Makespan < r.CriticalPath {
+			return false
+		}
+		if len(p.Instrs) > 0 && r.Makespan < (len(p.Instrs)+c.Width-1)/c.Width {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,62 @@
+package surface_test
+
+import (
+	"fmt"
+
+	"quest/internal/surface"
+)
+
+// ExampleNewPlanar shows the distance-3 planar patch — the paper's Figure 17
+// unit cell is the same 25-qubit layout.
+func ExampleNewPlanar() {
+	lat := surface.NewPlanar(3)
+	fmt.Print(lat)
+	fmt.Println("data qubits:", len(lat.Qubits(surface.RoleData)))
+	// Output:
+	// DXDXD
+	// ZDZDZ
+	// DXDXD
+	// ZDZDZ
+	// DXDXD
+	// data qubits: 13
+}
+
+// ExampleCompileCycle compiles one Steane-style QECC cycle: nine lock-step
+// sub-cycles, one µop per qubit each.
+func ExampleCompileCycle() {
+	lat := surface.NewPlanar(3)
+	words := surface.CompileCycle(lat, surface.Steane, nil)
+	fmt.Println("sub-cycles:", len(words))
+	fmt.Println("µops per sub-cycle:", words[0].Len())
+	fmt.Println("total µops per cycle:", len(words)*words[0].Len())
+	// Output:
+	// sub-cycles: 9
+	// µops per sub-cycle: 25
+	// total µops per cycle: 225
+}
+
+// ExampleBuildCellTable shows the unit-cell microcode: a constant-size table
+// that regenerates the full stream for any lattice.
+func ExampleBuildCellTable() {
+	table := surface.BuildCellTable(surface.Steane)
+	small := surface.NewLattice(5, 5)
+	big := surface.NewLattice(11, 21)
+	fmt.Println("table entries (lattice-independent):", table.NumEntries())
+	fmt.Println("drives 25-qubit tile:", len(table.Expand(small, nil)) == surface.Steane.Depth)
+	fmt.Println("drives 231-qubit tile:", len(table.Expand(big, nil)) == surface.Steane.Depth)
+	// Output:
+	// table entries (lattice-independent): 128
+	// drives 25-qubit tile: true
+	// drives 231-qubit tile: true
+}
+
+// ExampleNewRotated shows the SC-17 code: the distance-3 rotated surface
+// code with 17 qubits.
+func ExampleNewRotated() {
+	r := surface.NewRotated(3)
+	fmt.Println("data:", r.NumData(), "ancillas:", r.NumAncillas(), "total:", r.NumQubits())
+	fmt.Println("schedule depth:", len(r.CompileRotatedCycle()))
+	// Output:
+	// data: 9 ancillas: 8 total: 17
+	// schedule depth: 8
+}

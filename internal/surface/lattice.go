@@ -1,0 +1,206 @@
+// Package surface implements the surface-code quantum error correction layer
+// described in Appendix A of the paper: a two-dimensional lattice of data and
+// ancillary qubits, the repeating 5×5 unit cell, syndrome-generation
+// schedules (Steane, Shor, SC-17, SC-13), the QECC mask that carves logical
+// qubits out of the lattice, and the compilation of one QECC cycle into the
+// lock-step VLIW physical instruction stream the control processor must
+// deliver.
+package surface
+
+import "fmt"
+
+// Role classifies a lattice site.
+type Role uint8
+
+// Lattice site roles. Data qubits carry encoded information; X ancillas
+// detect bit flips via X-syndromes; Z ancillas detect phase flips via
+// Z-syndromes.
+const (
+	RoleData Role = iota
+	RoleAncillaX
+	RoleAncillaZ
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleData:
+		return "data"
+	case RoleAncillaX:
+		return "ancX"
+	case RoleAncillaZ:
+		return "ancZ"
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// Lattice is a rectangular patch of the surface-code qubit array. Sites are
+// addressed by (row, col); the flat qubit index is row*Cols + col. Site
+// parity fixes the role: (row+col) even sites are data qubits; odd sites are
+// ancillas, X-type on even rows and Z-type on odd rows. This is the layout of
+// the paper's Figure 17: a 5×5 patch holds 13 data and 12 ancilla qubits.
+type Lattice struct {
+	Rows, Cols int
+}
+
+// NewPlanar returns the lattice of a distance-d planar surface code: a
+// (2d-1)×(2d-1) patch with d² data qubits and d²-1 ancillas.
+func NewPlanar(d int) Lattice {
+	if d < 2 {
+		panic(fmt.Sprintf("surface: code distance %d < 2", d))
+	}
+	return Lattice{Rows: 2*d - 1, Cols: 2*d - 1}
+}
+
+// NewLattice returns a general rows×cols patch (used for MCE tiles that hold
+// several logical qubits).
+func NewLattice(rows, cols int) Lattice {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("surface: invalid lattice %dx%d", rows, cols))
+	}
+	return Lattice{Rows: rows, Cols: cols}
+}
+
+// NumQubits returns the total number of physical qubits in the patch.
+func (l Lattice) NumQubits() int { return l.Rows * l.Cols }
+
+// Index converts (row, col) to the flat qubit index.
+func (l Lattice) Index(r, c int) int {
+	if !l.InBounds(r, c) {
+		panic(fmt.Sprintf("surface: site (%d,%d) outside %dx%d lattice", r, c, l.Rows, l.Cols))
+	}
+	return r*l.Cols + c
+}
+
+// Coord converts a flat qubit index back to (row, col).
+func (l Lattice) Coord(i int) (r, c int) {
+	if i < 0 || i >= l.NumQubits() {
+		panic(fmt.Sprintf("surface: qubit index %d outside lattice", i))
+	}
+	return i / l.Cols, i % l.Cols
+}
+
+// InBounds reports whether (r,c) is a site of the patch.
+func (l Lattice) InBounds(r, c int) bool {
+	return r >= 0 && r < l.Rows && c >= 0 && c < l.Cols
+}
+
+// RoleAt returns the role of site (r,c).
+func (l Lattice) RoleAt(r, c int) Role {
+	if (r+c)%2 == 0 {
+		return RoleData
+	}
+	if r%2 == 0 {
+		return RoleAncillaX
+	}
+	return RoleAncillaZ
+}
+
+// RoleOf returns the role of a flat qubit index.
+func (l Lattice) RoleOf(i int) Role {
+	r, c := l.Coord(i)
+	return l.RoleAt(r, c)
+}
+
+// dirOffsets are the four syndrome-CNOT directions in the order used by the
+// schedule tables: North, East, West, South.
+var dirOffsets = [4][2]int{{-1, 0}, {0, 1}, {0, -1}, {1, 0}}
+
+// Neighbor returns the flat index of the site one step in direction dir
+// (0=N, 1=E, 2=W, 3=S) from (r,c), or -1 if it falls off the patch.
+func (l Lattice) Neighbor(r, c, dir int) int {
+	nr, nc := r+dirOffsets[dir][0], c+dirOffsets[dir][1]
+	if !l.InBounds(nr, nc) {
+		return -1
+	}
+	return l.Index(nr, nc)
+}
+
+// Qubits returns the flat indices of all sites with the given role, in index
+// order.
+func (l Lattice) Qubits(role Role) []int {
+	var out []int
+	for i := 0; i < l.NumQubits(); i++ {
+		if l.RoleOf(i) == role {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// StabilizerSupport returns the data-qubit flat indices that the ancilla at
+// flat index a checks, in N,E,W,S order (boundary ancillas return fewer).
+func (l Lattice) StabilizerSupport(a int) []int {
+	r, c := l.Coord(a)
+	if l.RoleAt(r, c) == RoleData {
+		panic(fmt.Sprintf("surface: qubit %d is not an ancilla", a))
+	}
+	var out []int
+	for dir := 0; dir < 4; dir++ {
+		if n := l.Neighbor(r, c, dir); n >= 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// LogicalZ returns the data-qubit support of the planar-code logical Z
+// operator: the top row of data qubits. Only meaningful for NewPlanar
+// lattices.
+func (l Lattice) LogicalZ() []int {
+	var out []int
+	for c := 0; c < l.Cols; c += 2 {
+		out = append(out, l.Index(0, c))
+	}
+	return out
+}
+
+// LogicalX returns the data-qubit support of the planar-code logical X
+// operator: the left column of data qubits.
+func (l Lattice) LogicalX() []int {
+	var out []int
+	for r := 0; r < l.Rows; r += 2 {
+		out = append(out, l.Index(r, 0))
+	}
+	return out
+}
+
+// Distance returns the code distance of a planar patch (min lattice
+// dimension +1 over 2).
+func (l Lattice) Distance() int {
+	m := l.Rows
+	if l.Cols < m {
+		m = l.Cols
+	}
+	return (m + 1) / 2
+}
+
+// String renders the patch as an ASCII role map (D = data, X/Z = ancillas),
+// used by examples and debugging.
+func (l Lattice) String() string {
+	buf := make([]byte, 0, (l.Cols+1)*l.Rows)
+	for r := 0; r < l.Rows; r++ {
+		for c := 0; c < l.Cols; c++ {
+			switch l.RoleAt(r, c) {
+			case RoleData:
+				buf = append(buf, 'D')
+			case RoleAncillaX:
+				buf = append(buf, 'X')
+			case RoleAncillaZ:
+				buf = append(buf, 'Z')
+			}
+		}
+		buf = append(buf, '\n')
+	}
+	return string(buf)
+}
+
+// UnitCell is the spatial period of the syndrome-generation instruction
+// pattern. The paper works with a 5×5-qubit unit cell (Figure 17); the
+// underlying translational period of the µop pattern is 2×2 sites, which is
+// what the microcode replay state machine exploits. UnitCellQubits is the
+// paper's accounting granularity.
+const (
+	UnitCellQubits = 25
+	UnitCellPeriod = 2
+)

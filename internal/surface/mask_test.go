@@ -1,0 +1,184 @@
+package surface
+
+import "testing"
+
+func TestMaskBasics(t *testing.T) {
+	lat := NewPlanar(3)
+	m := NewMask(lat)
+	if m.DisabledCount() != 0 {
+		t.Error("fresh mask disables qubits")
+	}
+	if m.RawBits() != lat.NumQubits() {
+		t.Errorf("RawBits = %d, want %d", m.RawBits(), lat.NumQubits())
+	}
+	m.SetDisabled(3, true)
+	if !m.Disabled(3) || m.DisabledCount() != 1 {
+		t.Error("SetDisabled had no effect")
+	}
+	v := m.Version()
+	m.SetDisabled(3, true) // idempotent: version must not bump
+	if m.Version() != v {
+		t.Error("idempotent set bumped version")
+	}
+	m.SetDisabled(3, false)
+	if m.Version() == v || m.Disabled(3) {
+		t.Error("unset failed")
+	}
+}
+
+func TestMaskRegionClipsToLattice(t *testing.T) {
+	lat := NewPlanar(3) // 5x5
+	m := NewMask(lat)
+	m.SetRegion(3, 3, 10, 10, true) // extends past the edge
+	want := 0
+	for r := 3; r < 5; r++ {
+		for c := 3; c < 5; c++ {
+			want++
+		}
+	}
+	if got := m.DisabledCount(); got != want {
+		t.Errorf("clipped region disabled %d, want %d", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted region accepted")
+		}
+	}()
+	m.SetRegion(2, 2, 1, 1, true)
+}
+
+func TestMaskCloneAndEqual(t *testing.T) {
+	lat := NewPlanar(3)
+	a := NewMask(lat)
+	a.SetRegion(0, 0, 1, 1, true)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal")
+	}
+	b.SetDisabled(20, true)
+	if a.Equal(b) {
+		t.Error("diverged masks equal")
+	}
+	if a.Disabled(20) {
+		t.Error("clone shares storage")
+	}
+	other := NewMask(NewPlanar(5))
+	if a.Equal(other) {
+		t.Error("masks on different lattices equal")
+	}
+}
+
+func TestCoalescedBits(t *testing.T) {
+	lat := NewLattice(25, 25) // 625 qubits
+	m := NewMask(lat)
+	if got := m.CoalescedBits(5); got != 25 {
+		t.Errorf("coalesced bits = %d, want 25 (N/d²)", got)
+	}
+	if got := m.CoalescedBits(1); got != 625 {
+		t.Errorf("d=1 coalescing = %d, want 625", got)
+	}
+	// Non-divisible dimensions round up.
+	m2 := NewMask(NewLattice(7, 7))
+	if got := m2.CoalescedBits(5); got != 4 {
+		t.Errorf("7x7 d=5 coalesced = %d, want 4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("d=0 accepted")
+		}
+	}()
+	m.CoalescedBits(0)
+}
+
+func TestLogicalQubitPlacement(t *testing.T) {
+	lat := NewLattice(15, 25)
+	lq, err := NewLogicalQubit(lat, 2, 2, 3)
+	if err != nil {
+		t.Fatalf("placement failed: %v", err)
+	}
+	m := NewMask(lat)
+	lq.Apply(m)
+	// Two 3x3 squares => 18 masked qubits.
+	if got := m.DisabledCount(); got != 18 {
+		t.Errorf("defect pair masked %d qubits, want 18", got)
+	}
+	// Separation: region B starts at c+2d = 8.
+	if lq.B.C != 8 {
+		t.Errorf("partner defect at col %d, want 8", lq.B.C)
+	}
+	lq.Remove(m)
+	if m.DisabledCount() != 0 {
+		t.Error("Remove left masked qubits")
+	}
+	if _, err := NewLogicalQubit(lat, 2, 20, 3); err == nil {
+		t.Error("defect pair overflowing lattice accepted")
+	}
+}
+
+func TestBraidPathOutAndReturn(t *testing.T) {
+	lat := NewLattice(15, 25)
+	lq, err := NewLogicalQubit(lat, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMask(lat)
+	lq.Apply(m)
+	before := m.Clone()
+	path := BraidPath(lq, 9, 6) // pivot routed clear of defect B (cols 8-10)
+	if len(path)%2 != 0 {
+		t.Fatalf("braid path length %d not even (out+return)", len(path))
+	}
+	grow := 0
+	for _, s := range path {
+		if s.Grow {
+			grow++
+		}
+		if err := ApplyBraidStep(m, s); err != nil {
+			t.Fatalf("braid step failed: %v", err)
+		}
+	}
+	if grow != len(path)/2 {
+		t.Errorf("grow steps = %d, want half of %d", grow, len(path))
+	}
+	if !m.Equal(before) {
+		t.Error("completed braid did not restore the mask")
+	}
+	// Mid-braid the mask must differ from the rest state.
+	m2 := before.Clone()
+	for _, s := range path[:len(path)/2] {
+		if err := ApplyBraidStep(m2, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m2.Equal(before) {
+		t.Error("outbound braid left mask unchanged")
+	}
+	if err := ApplyBraidStep(m, BraidStep{Grow: true, R: 99, C: 0}); err == nil {
+		t.Error("out-of-lattice braid step accepted")
+	}
+}
+
+func TestBraidPathDegenerate(t *testing.T) {
+	lat := NewLattice(15, 25)
+	lq, _ := NewLogicalQubit(lat, 2, 2, 3)
+	// Pivot at the path start: empty path.
+	path := BraidPath(lq, lq.A.R+lq.A.Side/2, lq.A.C+lq.A.Side)
+	if len(path) != 0 {
+		t.Errorf("degenerate braid has %d steps, want 0", len(path))
+	}
+}
+
+func TestRenderMask(t *testing.T) {
+	lat := NewLattice(3, 3)
+	m := NewMask(lat)
+	m.SetDisabled(lat.Index(1, 1), true)
+	got := RenderMask(lat, m)
+	want := "DxD\nz#z\nDxD\n"
+	if got != want {
+		t.Errorf("render:\n%q\nwant:\n%q", got, want)
+	}
+	// nil mask renders the plain role map.
+	if got := RenderMask(lat, nil); got != "DxD\nzDz\nDxD\n" {
+		t.Errorf("nil-mask render: %q", got)
+	}
+}

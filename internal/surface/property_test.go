@@ -1,0 +1,144 @@
+package surface
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"quest/internal/isa"
+)
+
+// TestPropertyCompileAlwaysValid: for any lattice shape and any random mask,
+// every compiled word passes structural validation and covers every qubit.
+func TestPropertyCompileAlwaysValid(t *testing.T) {
+	f := func(seed int64, rRaw, cRaw uint8) bool {
+		rows := 1 + int(rRaw)%12
+		cols := 1 + int(cRaw)%12
+		lat := NewLattice(rows, cols)
+		rng := rand.New(rand.NewSource(seed))
+		mask := NewMask(lat)
+		for i := 0; i < lat.NumQubits(); i++ {
+			if rng.Intn(3) == 0 {
+				mask.SetDisabled(i, true)
+			}
+		}
+		for _, sched := range []Schedule{Steane, Shor} {
+			words := CompileCycle(lat, sched, mask)
+			if len(words) != sched.Depth {
+				return false
+			}
+			for _, w := range words {
+				if w.Len() != lat.NumQubits() {
+					return false
+				}
+				if err := w.Validate(); err != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyUnitCellUniversality: the unit-cell replay equals direct
+// compilation on arbitrary lattice shapes and masks — the O(1) microcode
+// claim, fuzzed.
+func TestPropertyUnitCellUniversality(t *testing.T) {
+	table := BuildCellTable(Steane)
+	f := func(seed int64, rRaw, cRaw uint8) bool {
+		rows := 1 + int(rRaw)%14
+		cols := 1 + int(cRaw)%14
+		lat := NewLattice(rows, cols)
+		rng := rand.New(rand.NewSource(seed))
+		mask := NewMask(lat)
+		for i := 0; i < lat.NumQubits(); i++ {
+			if rng.Intn(4) == 0 {
+				mask.SetDisabled(i, true)
+			}
+		}
+		direct := CompileCycle(lat, Steane, mask)
+		replayed := table.Expand(lat, mask)
+		for s := range direct {
+			if !direct[s].Equal(replayed[s]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMaskRegionCounts: after masking a clipped region, the disabled
+// count equals the region's intersection with the lattice; unmasking
+// restores zero.
+func TestPropertyMaskRegionCounts(t *testing.T) {
+	f := func(r0Raw, c0Raw, hRaw, wRaw uint8) bool {
+		lat := NewLattice(9, 9)
+		m := NewMask(lat)
+		r0 := int(r0Raw) % 12
+		c0 := int(c0Raw) % 12
+		r1 := r0 + int(hRaw)%6
+		c1 := c0 + int(wRaw)%6
+		m.SetRegion(r0, c0, r1, c1, true)
+		want := 0
+		for r := r0; r <= r1; r++ {
+			for c := c0; c <= c1; c++ {
+				if lat.InBounds(r, c) {
+					want++
+				}
+			}
+		}
+		if m.DisabledCount() != want {
+			return false
+		}
+		m.SetRegion(r0, c0, r1, c1, false)
+		return m.DisabledCount() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEveryQubitEveryCycle: the lock-step invariant — no word ever
+// leaves a qubit without a µop (idle is explicit, nil is impossible), and
+// measurement ops appear exactly once per unmasked ancilla per cycle.
+func TestPropertyEveryQubitEveryCycle(t *testing.T) {
+	f := func(seed int64, dRaw uint8) bool {
+		d := 2 + int(dRaw)%4
+		lat := NewPlanar(d)
+		words := CompileCycle(lat, Steane, nil)
+		meas := make(map[int]int)
+		for _, w := range words {
+			for q, op := range w.Ops {
+				if !op.Valid() {
+					return false
+				}
+				if op.IsMeasurement() {
+					meas[q]++
+				}
+			}
+		}
+		for _, role := range []Role{RoleAncillaX, RoleAncillaZ} {
+			for _, a := range lat.Qubits(role) {
+				if meas[a] != 1 {
+					return false
+				}
+			}
+		}
+		for _, dq := range lat.Qubits(RoleData) {
+			if meas[dq] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+	_ = isa.OpIdle
+}

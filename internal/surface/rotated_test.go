@@ -1,0 +1,237 @@
+package surface
+
+import (
+	"math/rand"
+	"testing"
+
+	"quest/internal/awg"
+	"quest/internal/clifford"
+	"quest/internal/isa"
+)
+
+func TestRotatedQubitCounts(t *testing.T) {
+	// SC-17 is the d=3 rotated code: 9 data + 8 ancillas.
+	r3 := NewRotated(3)
+	if r3.NumData() != 9 || r3.NumAncillas() != 8 || r3.NumQubits() != 17 {
+		t.Fatalf("d=3 rotated: %d data, %d ancillas, %d total — want 9/8/17",
+			r3.NumData(), r3.NumAncillas(), r3.NumQubits())
+	}
+	// d² - 1 stabilizers for any valid distance.
+	for _, d := range []int{3, 5, 7} {
+		r := NewRotated(d)
+		if r.NumAncillas() != d*d-1 {
+			t.Errorf("d=%d: %d ancillas, want %d", d, r.NumAncillas(), d*d-1)
+		}
+		nx, nz := 0, 0
+		for i := 0; i < r.NumAncillas(); i++ {
+			if r.AncillaIsX(i) {
+				nx++
+			} else {
+				nz++
+			}
+			sup := r.Support(i)
+			if len(sup) != 2 && len(sup) != 4 {
+				t.Errorf("d=%d ancilla %d: support %d", d, i, len(sup))
+			}
+		}
+		if nx != nz {
+			t.Errorf("d=%d: %d X vs %d Z checks, want equal", d, nx, nz)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("even distance accepted")
+		}
+	}()
+	NewRotated(4)
+}
+
+func TestRotatedStabilizersCommute(t *testing.T) {
+	// Every X check must overlap every Z check on an even number of data
+	// qubits — the CSS condition.
+	for _, d := range []int{3, 5} {
+		r := NewRotated(d)
+		for i := 0; i < r.NumAncillas(); i++ {
+			if !r.AncillaIsX(i) {
+				continue
+			}
+			si := map[int]bool{}
+			for _, q := range r.Support(i) {
+				si[q] = true
+			}
+			for j := 0; j < r.NumAncillas(); j++ {
+				if r.AncillaIsX(j) {
+					continue
+				}
+				overlap := 0
+				for _, q := range r.Support(j) {
+					if si[q] {
+						overlap++
+					}
+				}
+				if overlap%2 != 0 {
+					t.Fatalf("d=%d: checks %d,%d overlap %d", d, i, j, overlap)
+				}
+			}
+		}
+	}
+}
+
+func TestRotatedLogicalOperators(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		r := NewRotated(d)
+		lz := map[int]bool{}
+		for _, q := range r.LogicalZ() {
+			lz[q] = true
+		}
+		lx := map[int]bool{}
+		for _, q := range r.LogicalX() {
+			lx[q] = true
+		}
+		for i := 0; i < r.NumAncillas(); i++ {
+			overlap := func(set map[int]bool) int {
+				n := 0
+				for _, q := range r.Support(i) {
+					if set[q] {
+						n++
+					}
+				}
+				return n
+			}
+			if r.AncillaIsX(i) && overlap(lz)%2 != 0 {
+				t.Errorf("d=%d: logical Z anticommutes with X check %d", d, i)
+			}
+			if !r.AncillaIsX(i) && overlap(lx)%2 != 0 {
+				t.Errorf("d=%d: logical X anticommutes with Z check %d", d, i)
+			}
+		}
+		// Logical X and Z anticommute (odd overlap).
+		common := 0
+		for q := range lz {
+			if lx[q] {
+				common++
+			}
+		}
+		if common%2 != 1 {
+			t.Errorf("d=%d: logicals overlap %d times", d, common)
+		}
+	}
+}
+
+func TestRotatedCycleStructure(t *testing.T) {
+	r := NewRotated(3)
+	words := r.CompileRotatedCycle()
+	if len(words) != rotDepth {
+		t.Fatalf("depth = %d, want %d (SC-17's 8)", len(words), rotDepth)
+	}
+	if SC17.Depth != rotDepth {
+		t.Errorf("SC-17 descriptor depth %d disagrees with functional schedule %d", SC17.Depth, rotDepth)
+	}
+	for s, w := range words {
+		if err := w.Validate(); err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+	}
+	// Each ancilla has exactly |support| CNOT halves.
+	cnots := map[int]int{}
+	for _, w := range words {
+		for q, op := range w.Ops {
+			if op.IsTwoQubit() {
+				cnots[q]++
+			}
+		}
+	}
+	for i := 0; i < r.NumAncillas(); i++ {
+		if got := cnots[r.AncillaQubit(i)]; got != len(r.Support(i)) {
+			t.Errorf("ancilla %d: %d CNOT halves, want %d", i, got, len(r.Support(i)))
+		}
+	}
+}
+
+func runRotatedCycle(u *awg.ExecutionUnit, words []isa.VLIW) map[int]int {
+	synd := make(map[int]int)
+	u.MeasSink = func(q, bit int) { synd[q] = bit }
+	for _, w := range words {
+		u.ExecuteWord(w)
+	}
+	return synd
+}
+
+func TestRotatedSyndromesSettleAndDetect(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		r := NewRotated(d)
+		words := r.CompileRotatedCycle()
+		tb := clifford.New(r.NumQubits(), rand.New(rand.NewSource(int64(d))))
+		u := awg.New(tb, nil)
+		runRotatedCycle(u, words)
+		base := runRotatedCycle(u, words)
+		again := runRotatedCycle(u, words)
+		for q, b := range base {
+			if again[q] != b {
+				t.Fatalf("d=%d: rotated syndrome at %d unstable", d, q)
+			}
+		}
+		// Inject an X error on each data qubit: exactly the adjacent Z
+		// checks flip.
+		for dq := 0; dq < r.NumData(); dq++ {
+			tb2 := clifford.New(r.NumQubits(), rand.New(rand.NewSource(int64(d*100+dq))))
+			u2 := awg.New(tb2, nil)
+			runRotatedCycle(u2, words)
+			b2 := runRotatedCycle(u2, words)
+			tb2.ApplyPauli(dq, clifford.PauliX)
+			a2 := runRotatedCycle(u2, words)
+			for i := 0; i < r.NumAncillas(); i++ {
+				aq := r.AncillaQubit(i)
+				adjacent := false
+				for _, s := range r.Support(i) {
+					if s == dq {
+						adjacent = true
+					}
+				}
+				wantFlip := adjacent && !r.AncillaIsX(i)
+				if (b2[aq] != a2[aq]) != wantFlip {
+					t.Fatalf("d=%d data %d: check %d flip mismatch", d, dq, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRotatedLogicalStatePreserved(t *testing.T) {
+	r := NewRotated(3)
+	words := r.CompileRotatedCycle()
+	tb := clifford.New(r.NumQubits(), rand.New(rand.NewSource(7)))
+	u := awg.New(tb, nil)
+	for c := 0; c < 4; c++ {
+		runRotatedCycle(u, words)
+		if got := tb.MeasureObservable(nil, r.LogicalZ()); got != 1 {
+			t.Fatalf("cycle %d: rotated logical Z = %d, want +1", c, got)
+		}
+	}
+	for _, q := range r.LogicalX() {
+		tb.X(q)
+	}
+	runRotatedCycle(u, words)
+	if got := tb.MeasureObservable(nil, r.LogicalZ()); got != -1 {
+		t.Fatalf("after logical X: logical Z = %d, want -1", got)
+	}
+}
+
+func TestRotatedHalvesQubitCost(t *testing.T) {
+	// The rotated code's headline: same distance, substantially fewer
+	// qubits than the unrotated planar layout — (2d-1)² vs 2d²-1, a ratio
+	// rising from 1.47 at d=3 toward 2 asymptotically.
+	prev := 0.0
+	for _, d := range []int{3, 5, 7} {
+		rot := NewRotated(d).NumQubits()
+		unrot := NewPlanar(d).NumQubits()
+		ratio := float64(unrot) / float64(rot)
+		if ratio < 1.4 || ratio > 2.0 {
+			t.Errorf("d=%d: unrotated/rotated = %d/%d = %.2f, want in [1.4,2)", d, unrot, rot, ratio)
+		}
+		if ratio <= prev {
+			t.Errorf("d=%d: ratio %.2f not increasing toward 2", d, ratio)
+		}
+		prev = ratio
+	}
+}

@@ -1,0 +1,29 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"quest/internal/isa"
+	"quest/internal/trace"
+)
+
+// ExampleFormat renders one sub-cycle of a physical stream.
+func ExampleFormat() {
+	w := isa.NewVLIW(4)
+	w.Set(0, isa.OpPrep0)
+	w.SetPair(1, isa.OpCNOTControl, 2)
+	w.SetPair(2, isa.OpCNOTTarget, 1)
+	fmt.Print(trace.Format([]isa.VLIW{w}))
+	// Output:
+	// c0.0: PREP0@0 CNOTC@1->2 CNOTT@2->1 idle×1
+}
+
+// ExampleDiff localizes the first divergence between two streams.
+func ExampleDiff() {
+	line, a, b := trace.Diff("c0.0: H@0\nc0.1: X@1\n", "c0.0: H@0\nc0.1: Z@1\n")
+	fmt.Println("line:", line)
+	fmt.Println(a, "vs", b)
+	// Output:
+	// line: 2
+	// c0.1: X@1 vs c0.1: Z@1
+}

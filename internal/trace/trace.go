@@ -1,0 +1,107 @@
+// Package trace renders physical instruction streams in a compact, diffable
+// text form — the debugging view of what an MCE actually delivers to its
+// tile, cycle by cycle. Stream-equivalence failures (microcode replay vs
+// software compilation) are diagnosed by diffing two traces; the format is
+// stable so tests can golden-match it.
+//
+// Format: one line per sub-cycle,
+//
+//	c<cycle>.<sub>: <op>@<qubit>[-><pair>] ... ; idle×N
+//
+// with idle runs compressed and µops sorted by qubit.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"quest/internal/isa"
+)
+
+// Writer traces VLIW streams to an io.Writer.
+type Writer struct {
+	w     io.Writer
+	cycle int
+	err   error
+}
+
+// New returns a tracer.
+func New(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first write error encountered.
+func (t *Writer) Err() error { return t.err }
+
+// Cycle traces one QECC cycle's words and advances the cycle counter.
+func (t *Writer) Cycle(words []isa.VLIW) {
+	for s, w := range words {
+		t.word(t.cycle, s, w)
+	}
+	t.cycle++
+}
+
+func (t *Writer) word(cycle, sub int, w isa.VLIW) {
+	if t.err != nil {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "c%d.%d:", cycle, sub)
+	idle := 0
+	flushIdle := func() {
+		if idle > 0 {
+			fmt.Fprintf(&b, " idle×%d", idle)
+			idle = 0
+		}
+	}
+	for q, op := range w.Ops {
+		if op == isa.OpIdle {
+			idle++
+			continue
+		}
+		flushIdle()
+		if op.IsTwoQubit() {
+			fmt.Fprintf(&b, " %s@%d->%d", op, q, w.Pairs[q])
+		} else {
+			fmt.Fprintf(&b, " %s@%d", op, q)
+		}
+	}
+	flushIdle()
+	b.WriteByte('\n')
+	if _, err := io.WriteString(t.w, b.String()); err != nil {
+		t.err = err
+	}
+}
+
+// Format renders a whole cycle list to a string (convenience for tests).
+func Format(cycles ...[]isa.VLIW) string {
+	var b strings.Builder
+	tr := New(&b)
+	for _, c := range cycles {
+		tr.Cycle(c)
+	}
+	return b.String()
+}
+
+// Diff returns the first line where two traces differ, or -1 with empty
+// strings if identical. Used to localize stream-equivalence violations.
+func Diff(a, b string) (line int, la, lb string) {
+	as := strings.Split(a, "\n")
+	bs := strings.Split(b, "\n")
+	n := len(as)
+	if len(bs) > n {
+		n = len(bs)
+	}
+	for i := 0; i < n; i++ {
+		var x, y string
+		if i < len(as) {
+			x = as[i]
+		}
+		if i < len(bs) {
+			y = bs[i]
+		}
+		if x != y {
+			return i + 1, x, y
+		}
+	}
+	return -1, "", ""
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"quest/internal/isa"
+	"quest/internal/microcode"
+	"quest/internal/surface"
+)
+
+func TestFormatGolden(t *testing.T) {
+	w1 := isa.NewVLIW(5)
+	w1.Set(0, isa.OpPrep0)
+	w1.SetPair(2, isa.OpCNOTControl, 3)
+	w1.SetPair(3, isa.OpCNOTTarget, 2)
+	w2 := isa.NewVLIW(5)
+	w2.Set(4, isa.OpMeasZ)
+	got := Format([]isa.VLIW{w1, w2})
+	want := "c0.0: PREP0@0 idle×1 CNOTC@2->3 CNOTT@3->2 idle×1\n" +
+		"c0.1: idle×4 MEASZ@4\n"
+	if got != want {
+		t.Errorf("trace:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestCycleCounterAdvances(t *testing.T) {
+	var b strings.Builder
+	tr := New(&b)
+	w := []isa.VLIW{isa.NewVLIW(1)}
+	tr.Cycle(w)
+	tr.Cycle(w)
+	out := b.String()
+	if !strings.Contains(out, "c0.0:") || !strings.Contains(out, "c1.0:") {
+		t.Errorf("cycle counter missing: %q", out)
+	}
+	if tr.Err() != nil {
+		t.Errorf("unexpected error: %v", tr.Err())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("boom") }
+
+func TestWriteErrorsSurface(t *testing.T) {
+	tr := New(failWriter{})
+	tr.Cycle([]isa.VLIW{isa.NewVLIW(1)})
+	if tr.Err() == nil {
+		t.Error("write error swallowed")
+	}
+	// Further writes are no-ops but keep the first error.
+	tr.Cycle([]isa.VLIW{isa.NewVLIW(1)})
+	if tr.Err() == nil || tr.Err().Error() != "boom" {
+		t.Errorf("error not preserved: %v", tr.Err())
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := "l1\nl2\nl3\n"
+	b := "l1\nXX\nl3\n"
+	line, la, lb := Diff(a, b)
+	if line != 2 || la != "l2" || lb != "XX" {
+		t.Errorf("diff = %d %q %q", line, la, lb)
+	}
+	if line, _, _ := Diff(a, a); line != -1 {
+		t.Error("identical traces diffed")
+	}
+	// Length mismatch is a difference.
+	if line, _, _ := Diff("x\n", "x\ny\n"); line < 0 {
+		t.Error("length mismatch missed")
+	}
+}
+
+// TestTraceProvesStreamEquivalence uses the tracer the way a developer
+// would: render the software-compiled and microcode-replayed streams and
+// assert a clean diff.
+func TestTraceProvesStreamEquivalence(t *testing.T) {
+	lat := surface.NewLattice(5, 9)
+	mask := surface.NewMask(lat)
+	mask.SetRegion(0, 0, 2, 2, true)
+	direct := surface.CompileCycle(lat, surface.Steane, mask)
+	st := microcode.NewStore(microcode.DesignUnitCell, surface.Steane, lat)
+	replayed := st.ReplayCycle(mask)
+	if line, la, lb := Diff(Format(direct), Format(replayed)); line >= 0 {
+		t.Errorf("streams diverge at line %d:\n  compiled: %s\n  replayed: %s", line, la, lb)
+	}
+}

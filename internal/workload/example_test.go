@@ -1,0 +1,39 @@
+package workload_test
+
+import (
+	"fmt"
+	"math"
+
+	"quest/internal/workload"
+)
+
+// ExampleEstimator derives the paper's evaluation quantities for one
+// workload at the default operating point.
+func ExampleEstimator() {
+	est := workload.NewEstimator()
+	e := est.Estimate(workload.GSE)
+	fmt.Println("code distance:", e.Distance)
+	fmt.Println("distillation rounds:", e.DistillRounds)
+	fmt.Printf("QECC overhead: 10^%.1f\n", math.Log10(e.QECCOverhead()))
+	fmt.Printf("QuEST savings: 10^%.1f (10^%.1f with caching)\n",
+		math.Log10(e.SavingsQuEST()), math.Log10(e.SavingsQuESTCache()))
+	// Output:
+	// code distance: 13
+	// distillation rounds: 2
+	// QECC overhead: 10^8.3
+	// QuEST savings: 10^5.5 (10^8.0 with caching)
+}
+
+// ExampleSyntheticProgram generates an executable slice of a workload for
+// the cycle-level machine.
+func ExampleSyntheticProgram() {
+	p := workload.SyntheticProgram(workload.QLS, 1000)
+	s := p.Stats()
+	fmt.Println("instructions:", s.Total)
+	fmt.Println("register:", p.NumLogical, "logical qubits")
+	fmt.Println("T fraction near profile:", math.Abs(s.TFraction-workload.QLS.TFraction) < 0.1)
+	// Output:
+	// instructions: 1000
+	// register: 8 logical qubits
+	// T fraction near profile: true
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyDistanceMonotoneInGates: more gates never shrink the required
+// code distance.
+func TestPropertyDistanceMonotoneInGates(t *testing.T) {
+	f := func(gRawA, gRawB uint16, qRaw uint8) bool {
+		q := 10 + int(qRaw)%2000
+		ga := 1e4 * float64(1+gRawA)
+		gb := 1e4 * float64(1+gRawB)
+		if ga > gb {
+			ga, gb = gb, ga
+		}
+		pa := Profile{Name: "a", LogicalQubits: q, LogicalGates: ga, TFraction: 0.25, ILP: 2}
+		pb := Profile{Name: "b", LogicalQubits: q, LogicalGates: gb, TFraction: 0.25, ILP: 2}
+		return CodeDistance(pa, DefaultPhys) <= CodeDistance(pb, DefaultPhys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEstimateOrderings: for any valid profile, the architecture
+// orderings hold — baseline > QuEST > QuEST+cache traffic, QECC dominates,
+// and all derived quantities are positive and finite.
+func TestPropertyEstimateOrderings(t *testing.T) {
+	est := NewEstimator()
+	f := func(qRaw uint8, gRaw uint16, tRaw, iRaw uint8) bool {
+		p := Profile{
+			Name:          "fuzz",
+			LogicalQubits: 10 + int(qRaw)%3000,
+			LogicalGates:  1e5 * float64(1+gRaw),
+			TFraction:     0.2 + float64(tRaw%16)/100,
+			ILP:           2 + float64(iRaw%11)/10,
+		}
+		e := est.Estimate(p)
+		if !(e.BaselineBytes > e.QuESTBytes && e.QuESTBytes > e.QuESTCacheBytes) {
+			return false
+		}
+		if e.QECCInstrs <= e.LogicalInstrs {
+			return false
+		}
+		if e.Distance < 3 || e.Distance%2 == 0 {
+			return false
+		}
+		if e.TotalPhysical <= 0 || e.RuntimeSec <= 0 || e.Factories < 1 {
+			return false
+		}
+		if e.SavingsQuEST() <= 1 || e.SavingsQuESTCache() <= e.SavingsQuEST() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySavingsScaleWithQubits: with gates fixed, adding logical
+// qubits (more physical hardware doing QECC) never reduces QuEST's savings.
+func TestPropertySavingsScaleWithQubits(t *testing.T) {
+	est := NewEstimator()
+	f := func(qa, qb uint8) bool {
+		a := 10 + int(qa)%1000
+		b := 10 + int(qb)%1000
+		if a > b {
+			a, b = b, a
+		}
+		mk := func(q int) Estimate {
+			return est.Estimate(Profile{
+				Name: "fuzz", LogicalQubits: q, LogicalGates: 1e9,
+				TFraction: 0.25, ILP: 2,
+			})
+		}
+		return mk(a).SavingsQuEST() <= mk(b).SavingsQuEST()*1.000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

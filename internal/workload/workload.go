@@ -1,0 +1,374 @@
+// Package workload is this repository's stand-in for the QuRE toolbox +
+// ScaffCC pipeline the paper evaluates with (§6): an analytical resource
+// estimator that, from a workload's logical-level profile (qubit count, gate
+// count, T fraction, parallelism) and a technology/QECC operating point,
+// derives the code distance, physical qubit counts, T-factory provisioning,
+// runtimes, and the instruction bandwidth of the three architectures the
+// paper compares — software-managed baseline, QuEST with hardware QECC, and
+// QuEST with the logical instruction cache.
+//
+// The derivations follow the paper's own sources: Fowler et al.'s appendix-M
+// surface-code costing (12.5·d² physical qubits per logical qubit, logical
+// error suppression per round Pl ≈ A·(p/p_th)^((d+1)/2)) and the QuRE
+// convention that a logical operation occupies ~d error-correction rounds.
+// Workload profiles are calibrated constants documented per benchmark.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"quest/internal/compiler"
+	"quest/internal/distill"
+	"quest/internal/isa"
+	"quest/internal/surface"
+)
+
+// Tech holds the technology parameters of the paper's Table 1. Times in
+// nanoseconds.
+type Tech struct {
+	Name  string
+	TPrep float64
+	T1    float64
+	TMeas float64
+	TCNOT float64
+	TEcc  float64 // one error-correction round
+}
+
+// The three operating points of Table 1.
+var (
+	ExperimentalS = Tech{Name: "Experimental_S", TPrep: 1000, T1: 25, TMeas: 1000, TCNOT: 100, TEcc: 2420}
+	ProjectedF    = Tech{Name: "Projected_F", TPrep: 40, T1: 10, TMeas: 35, TCNOT: 80, TEcc: 405}
+	ProjectedD    = Tech{Name: "Projected_D", TPrep: 40, T1: 5, TMeas: 35, TCNOT: 20, TEcc: 165}
+)
+
+// Techs lists the Table 1 operating points in presentation order.
+func Techs() []Tech { return []Tech{ExperimentalS, ProjectedF, ProjectedD} }
+
+// Surface-code error model constants (Fowler et al.): threshold and the
+// logical error prefactor.
+const (
+	Threshold      = 1e-2
+	LogicalErrorA  = 0.03
+	DefaultPhys    = 1e-4 // the paper's headline physical error rate
+	TargetFailure  = 0.5  // acceptable whole-run failure probability
+	PhysInstrBytes = 1    // byte-sized physical instructions (§3.3)
+	QubitRateHz    = 100e6
+	// CacheRunBatch is the replay count one LCacheRun token covers (its
+	// 6-bit Arg field).
+	CacheRunBatch = 63
+)
+
+// Profile is a workload's logical-level footprint.
+type Profile struct {
+	Name string
+	// Description summarizes what the benchmark computes.
+	Description string
+	// LogicalQubits is the algorithm's logical register size.
+	LogicalQubits int
+	// LogicalGates is the total logical gate count.
+	LogicalGates float64
+	// TFraction is the share of T gates in the stream (25-30% per §5.2).
+	TFraction float64
+	// ILP is the average number of logical instructions issued in parallel
+	// (two to three per §5.2).
+	ILP float64
+}
+
+// The seven benchmarks of §6.1. Logical-level footprints are calibrated
+// constants: qubit counts follow the algorithms' register sizes and gate
+// counts the published asymptotic costs at the paper's problem sizes, chosen
+// so the derived overheads land in the ranges the paper reports (Figs 2, 6,
+// 13). See DESIGN.md §1 for the substitution rationale.
+var (
+	BWT = Profile{
+		Name:          "BWT",
+		Description:   "quantum random walk through a binary welded tree (n=300)",
+		LogicalQubits: 100, LogicalGates: 2e6, TFraction: 0.28, ILP: 2.5,
+	}
+	BF = Profile{
+		Name:          "BF",
+		Description:   "Boolean formula evaluation: best strategy for hex",
+		LogicalQubits: 1000, LogicalGates: 5e13, TFraction: 0.30, ILP: 2.0,
+	}
+	GSE = Profile{
+		Name:          "GSE",
+		Description:   "ground state estimation of the Fe2S2 molecule",
+		LogicalQubits: 2000, LogicalGates: 3e10, TFraction: 0.30, ILP: 2.5,
+	}
+	FeMoCo = Profile{
+		Name:          "FeMoCo",
+		Description:   "ground state of the nitrogenase FeMo cofactor active site",
+		LogicalQubits: 4000, LogicalGates: 1e14, TFraction: 0.30, ILP: 2.0,
+	}
+	QLS = Profile{
+		Name:          "QLS",
+		Description:   "quantum linear system solver (HHL) for Ax=b",
+		LogicalQubits: 500, LogicalGates: 2e8, TFraction: 0.25, ILP: 2.0,
+	}
+	Shor1024 = ShorProfile(1024)
+	TFP      = Profile{
+		Name:          "TFP",
+		Description:   "triangle finding in a dense graph",
+		LogicalQubits: 30, LogicalGates: 2e5, TFraction: 0.28, ILP: 2.0,
+	}
+)
+
+// Suite returns the seven evaluation workloads in the paper's order.
+func Suite() []Profile {
+	return []Profile{BWT, BF, GSE, FeMoCo, QLS, Shor1024, TFP}
+}
+
+// ShorProfile returns the profile for factoring an n-bit modulus: 2n+3
+// logical qubits (Beauregard circuit) and ~40·n³ logical gates (modular
+// exponentiation), the scaling behind Figure 2.
+func ShorProfile(nBits int) Profile {
+	if nBits < 8 {
+		panic(fmt.Sprintf("workload: Shor modulus %d bits too small", nBits))
+	}
+	n := float64(nBits)
+	return Profile{
+		Name:          fmt.Sprintf("SHOR-%d", nBits),
+		Description:   fmt.Sprintf("Shor factoring of a %d-bit modulus", nBits),
+		LogicalQubits: 2*nBits + 3,
+		LogicalGates:  40 * n * n * n,
+		TFraction:     0.25,
+		ILP:           2.5,
+	}
+}
+
+// Validate checks a profile is usable.
+func (p Profile) Validate() error {
+	if p.Name == "" || p.LogicalQubits <= 0 || p.LogicalGates <= 0 {
+		return fmt.Errorf("workload: incomplete profile %+v", p)
+	}
+	if p.TFraction < 0 || p.TFraction > 1 {
+		return fmt.Errorf("workload: %s T fraction %v outside [0,1]", p.Name, p.TFraction)
+	}
+	if p.ILP < 1 {
+		return fmt.Errorf("workload: %s ILP %v below 1", p.Name, p.ILP)
+	}
+	return nil
+}
+
+// LogicalErrorPerRound returns the per-logical-qubit, per-round failure
+// probability of a distance-d code at physical rate p.
+func LogicalErrorPerRound(p float64, d int) float64 {
+	if p <= 0 || p >= Threshold {
+		panic(fmt.Sprintf("workload: physical rate %v outside (0, threshold)", p))
+	}
+	return LogicalErrorA * math.Pow(p/Threshold, float64(d+1)/2)
+}
+
+// CodeDistance returns the smallest odd distance whose whole-run failure
+// probability stays below TargetFailure for the profile.
+func CodeDistance(p Profile, physRate float64) int {
+	rounds := p.LogicalGates / p.ILP // per-logical-op rounds multiply below
+	for d := 3; d <= 101; d += 2 {
+		perRound := LogicalErrorPerRound(physRate, d)
+		totalRounds := rounds * float64(d) // each logical op ≈ d rounds
+		failure := perRound * float64(p.LogicalQubits) * totalRounds
+		if failure < TargetFailure {
+			return d
+		}
+	}
+	panic(fmt.Sprintf("workload: no distance ≤ 101 achieves target for %s at p=%v", p.Name, physRate))
+}
+
+// Estimate is the full resource and bandwidth derivation for one workload at
+// one operating point.
+type Estimate struct {
+	Profile  Profile
+	Tech     Tech
+	Schedule surface.Schedule
+	PhysRate float64
+
+	// Derived code parameters.
+	Distance      int
+	DistillRounds int
+	Factories     int
+	FactoryQubits int
+	DataQubits    int
+	TotalPhysical int
+
+	// Execution shape.
+	ECCRounds  float64 // total QECC rounds over the run
+	RuntimeSec float64
+
+	// Instruction counts over the whole run.
+	QECCInstrs     float64 // physical QECC µops, data patches + T-factories
+	QECCDataInstrs float64 // physical QECC µops on the data patches alone
+	LogicalInstrs  float64 // the application's own logical instructions
+	DistillInstrs  float64 // logical instructions spent in T-factories
+	SyncTokens     float64
+
+	// Bytes over the global (host→control processor) bus per architecture.
+	BaselineBytes   float64
+	QuESTBytes      float64
+	QuESTCacheBytes float64
+}
+
+// Estimator fixes the operating point shared across workloads.
+type Estimator struct {
+	Tech     Tech
+	Schedule surface.Schedule
+	PhysRate float64
+}
+
+// NewEstimator returns an estimator at the paper's default operating point
+// (Projected_D, Steane syndrome, p=1e-4) with the given overrides applied by
+// the caller mutating fields.
+func NewEstimator() *Estimator {
+	return &Estimator{Tech: ProjectedD, Schedule: surface.Steane, PhysRate: DefaultPhys}
+}
+
+// Estimate derives the full resource picture for one profile.
+func (e *Estimator) Estimate(p Profile) Estimate {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	d := CodeDistance(p, e.PhysRate)
+	est := Estimate{
+		Profile: p, Tech: e.Tech, Schedule: e.Schedule, PhysRate: e.PhysRate,
+		Distance: d,
+	}
+
+	// Magic-state pipeline: the run's total T-gate failure budget divides
+	// over the gate count, so the distilled-state target depends on the
+	// algorithm, not the code distance — which is why the distillation
+	// overhead stays flat across physical error rates (§7, Figure 15).
+	target := TargetFailure / p.LogicalGates
+	raw := distill.RawStateError(e.PhysRate)
+	rounds, err := distill.RoundsNeeded(raw, target)
+	if err != nil {
+		panic(err)
+	}
+	est.DistillRounds = rounds
+
+	// Demand: T gates per QECC round. A logical op occupies ~d rounds and
+	// ILP ops run in parallel, so the machine retires ILP/d logical ops per
+	// round, a TFraction of which need a magic state.
+	tPerRound := p.TFraction * p.ILP / float64(d)
+	// One factory pipelines one 15-to-1 round per RoundInstructionCount/ILP
+	// logical-op slots ≈ that many ·d rounds... its latency in rounds:
+	latency := int(math.Ceil(float64(distill.RoundInstructionCount) * float64(d) / p.ILP))
+	est.Factories = distill.FactoriesNeeded(tPerRound, latency)
+	est.FactoryQubits = est.Factories * distill.LogicalQubitsPerFactory(rounds) *
+		int(surface.PhysicalQubitsPerLogical(d))
+
+	est.DataQubits = int(float64(p.LogicalQubits) * surface.PhysicalQubitsPerLogical(d))
+	est.TotalPhysical = est.DataQubits + est.FactoryQubits
+
+	// Run length: LogicalGates issued ILP at a time, d rounds each.
+	est.ECCRounds = p.LogicalGates / p.ILP * float64(d)
+	est.RuntimeSec = est.ECCRounds * e.Tech.TEcc * 1e-9
+
+	// Instruction counts. Every physical qubit gets Depth µops per round.
+	est.QECCInstrs = float64(est.TotalPhysical) * float64(e.Schedule.Depth) * est.ECCRounds
+	est.QECCDataInstrs = float64(est.DataQubits) * float64(e.Schedule.Depth) * est.ECCRounds
+	est.LogicalInstrs = p.LogicalGates
+	est.DistillInstrs = p.LogicalGates * p.TFraction * distill.InstructionsPerState(rounds)
+	// One synchronization token per issue group (ILP logical instructions).
+	est.SyncTokens = p.LogicalGates / p.ILP
+
+	// Global bus bytes per architecture (§7). Baseline: the compiler
+	// streams everything as physical instructions — the logical program and
+	// distillation expand transversally over a logical patch (~d² data
+	// qubits each) and all QECC µops ship explicitly.
+	physPerLogical := float64(d) * float64(d)
+	est.BaselineBytes = (est.QECCInstrs +
+		(est.LogicalInstrs+est.DistillInstrs)*physPerLogical) * PhysInstrBytes
+	// QuEST: QECC never crosses the bus; logical + distillation instructions
+	// and sync tokens do, at 2 bytes each.
+	est.QuESTBytes = (est.LogicalInstrs + est.DistillInstrs + est.SyncTokens) *
+		float64(isa.LogicalInstrBytes)
+	// QuEST + cache: each distillation round body ships once and replays
+	// from the MCE instruction cache; an LCacheRun token's 6-bit repeat
+	// field batches up to CacheRunBatch replays, so only batched run tokens
+	// and the application stream remain on the bus.
+	replays := est.DistillInstrs / float64(distill.RoundInstructionCount)
+	cacheTraffic := float64(distill.RoundInstructionCount)*float64(isa.LogicalInstrBytes) + // one-time load
+		math.Ceil(replays/CacheRunBatch)*float64(isa.LogicalInstrBytes)
+	est.QuESTCacheBytes = (est.LogicalInstrs+est.SyncTokens)*float64(isa.LogicalInstrBytes) + cacheTraffic
+	return est
+}
+
+// QECCOverhead is Figure 6's ratio: QECC physical instructions on the
+// algorithm's data patches per useful logical instruction (the T-factory
+// share is reported separately by Figure 13's TFactoryOverhead).
+func (e Estimate) QECCOverhead() float64 { return e.QECCDataInstrs / e.LogicalInstrs }
+
+// TFactoryOverhead is Figure 13's ratio: distillation instructions over the
+// application's logical instructions.
+func (e Estimate) TFactoryOverhead() float64 { return e.DistillInstrs / e.LogicalInstrs }
+
+// BaselineBandwidth returns the software-managed architecture's sustained
+// global-bus bandwidth in bytes/sec.
+func (e Estimate) BaselineBandwidth() float64 { return e.BaselineBytes / e.RuntimeSec }
+
+// QuESTBandwidth returns the hardware-QECC architecture's bandwidth.
+func (e Estimate) QuESTBandwidth() float64 { return e.QuESTBytes / e.RuntimeSec }
+
+// QuESTCacheBandwidth returns the bandwidth with logical caching enabled.
+func (e Estimate) QuESTCacheBandwidth() float64 { return e.QuESTCacheBytes / e.RuntimeSec }
+
+// SavingsQuEST is Figure 14's first bar: baseline over QuEST traffic.
+func (e Estimate) SavingsQuEST() float64 { return e.BaselineBytes / e.QuESTBytes }
+
+// SavingsQuESTCache is Figure 14's second bar: baseline over cached traffic.
+func (e Estimate) SavingsQuESTCache() float64 { return e.BaselineBytes / e.QuESTCacheBytes }
+
+// NaiveBandwidth is the §3.3 back-of-envelope: every physical qubit consumes
+// byte-sized instructions at its 100 MHz operating rate — the Figure 2
+// model.
+func NaiveBandwidth(totalPhysicalQubits int) float64 {
+	return float64(totalPhysicalQubits) * PhysInstrBytes * QubitRateHz
+}
+
+// SyntheticProgram generates a deterministic logical program whose gate mix
+// matches the profile: TFraction of T gates, roughly a third two-qubit
+// braids, the rest single-qubit Cliffords, over min(LogicalQubits, 8)
+// register qubits. It ties the analytical profile to the executable machine:
+// scheduling the synthetic program recovers an ILP in the profile's band,
+// and running a slice of it on the cycle-level machine exercises exactly the
+// traffic shape the estimator prices.
+func SyntheticProgram(p Profile, instrs int) *compiler.Program {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if instrs < 1 {
+		panic(fmt.Sprintf("workload: non-positive instruction count %d", instrs))
+	}
+	n := p.LogicalQubits
+	if n > 8 {
+		n = 8
+	}
+	if n < 2 {
+		n = 2
+	}
+	prog := compiler.NewProgram(n)
+	// Deterministic low-discrepancy walk over qubits and op classes.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(mod int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(mod))
+	}
+	tEvery := int(1 / p.TFraction)
+	for i := 0; i < instrs; i++ {
+		q := next(n)
+		switch {
+		case tEvery > 0 && i%tEvery == tEvery-1:
+			prog.T(q)
+		case i%3 == 1:
+			t := (q + 1 + next(n-1)) % n
+			prog.CNOT(q, t)
+		case i%2 == 0:
+			prog.H(q)
+		default:
+			prog.S(q)
+		}
+	}
+	return prog
+}

@@ -1,0 +1,357 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"quest/internal/sched"
+	"quest/internal/surface"
+)
+
+func TestTable1Constants(t *testing.T) {
+	// Table 1 values must be transcribed exactly.
+	if ExperimentalS.TEcc != 2420 || ProjectedF.TEcc != 405 || ProjectedD.TEcc != 165 {
+		t.Error("T_ecc values wrong")
+	}
+	if ProjectedD.T1 != 5 || ProjectedF.T1 != 10 || ExperimentalS.T1 != 25 {
+		t.Error("t1 values wrong")
+	}
+	if ExperimentalS.TCNOT != 100 || ProjectedF.TCNOT != 80 || ProjectedD.TCNOT != 20 {
+		t.Error("tCNOT values wrong")
+	}
+	if len(Techs()) != 3 {
+		t.Error("Techs incomplete")
+	}
+}
+
+func TestSuiteProfilesValid(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 7 {
+		t.Fatalf("suite has %d workloads, want 7", len(suite))
+	}
+	names := map[string]bool{}
+	for _, p := range suite {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate workload %s", p.Name)
+		}
+		names[p.Name] = true
+		if p.TFraction < 0.2 || p.TFraction > 0.35 {
+			t.Errorf("%s: T fraction %v outside the paper's 25-30%% band", p.Name, p.TFraction)
+		}
+		if p.ILP < 2 || p.ILP > 3 {
+			t.Errorf("%s: ILP %v outside the paper's 2-3 band", p.Name, p.ILP)
+		}
+	}
+}
+
+func TestProfileValidateRejections(t *testing.T) {
+	bad := []Profile{
+		{},
+		{Name: "x", LogicalQubits: 0, LogicalGates: 1, ILP: 2},
+		{Name: "x", LogicalQubits: 1, LogicalGates: 1, TFraction: 2, ILP: 2},
+		{Name: "x", LogicalQubits: 1, LogicalGates: 1, TFraction: 0.2, ILP: 0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestShorProfileScaling(t *testing.T) {
+	s128 := ShorProfile(128)
+	s1024 := ShorProfile(1024)
+	if s128.LogicalQubits != 259 || s1024.LogicalQubits != 2051 {
+		t.Errorf("Shor qubits: %d, %d", s128.LogicalQubits, s1024.LogicalQubits)
+	}
+	// Cubic gate scaling: 8x bits → 512x gates.
+	if r := s1024.LogicalGates / s128.LogicalGates; math.Abs(r-512) > 1 {
+		t.Errorf("gate scaling ratio = %v, want 512", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("tiny modulus accepted")
+		}
+	}()
+	ShorProfile(4)
+}
+
+func TestLogicalErrorModel(t *testing.T) {
+	// Suppression: each +2 of distance multiplies error by p/p_th.
+	p := 1e-4
+	r := LogicalErrorPerRound(p, 5) / LogicalErrorPerRound(p, 3)
+	if math.Abs(r-p/Threshold) > 1e-15 {
+		t.Errorf("suppression ratio = %v, want %v", r, p/Threshold)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("above-threshold rate accepted")
+		}
+	}()
+	LogicalErrorPerRound(0.02, 3)
+}
+
+func TestCodeDistanceMonotone(t *testing.T) {
+	// Bigger workloads need bigger distances; worse physical rates too.
+	small := Profile{Name: "s", LogicalQubits: 10, LogicalGates: 1e4, TFraction: 0.25, ILP: 2}
+	big := Profile{Name: "b", LogicalQubits: 10000, LogicalGates: 1e14, TFraction: 0.25, ILP: 2}
+	ds, db := CodeDistance(small, DefaultPhys), CodeDistance(big, DefaultPhys)
+	if ds >= db {
+		t.Errorf("distances: small %d, big %d", ds, db)
+	}
+	dWorse := CodeDistance(big, 1e-3)
+	dBetter := CodeDistance(big, 1e-5)
+	if !(dBetter < db && db < dWorse) {
+		t.Errorf("distance vs rate: %d %d %d", dBetter, db, dWorse)
+	}
+	if ds%2 != 1 || db%2 != 1 {
+		t.Error("distances must be odd")
+	}
+}
+
+func TestShor1024LandsInPaperRegime(t *testing.T) {
+	// §1/Figure 2: factoring 1024-bit needs millions of physical qubits and
+	// ~100 TB/s of instruction bandwidth.
+	est := NewEstimator().Estimate(Shor1024)
+	if est.TotalPhysical < 1e6 || est.TotalPhysical > 5e7 {
+		t.Errorf("Shor-1024 physical qubits = %d, want millions", est.TotalPhysical)
+	}
+	bw := NaiveBandwidth(est.TotalPhysical)
+	if bw < 1e13 || bw > 5e15 {
+		t.Errorf("Shor-1024 naive bandwidth = %v B/s, want ~100 TB/s regime", bw)
+	}
+}
+
+func TestFigure2LinearScaling(t *testing.T) {
+	// Bandwidth scales linearly with physical qubit count across Shor sizes.
+	e := NewEstimator()
+	prev := 0.0
+	for _, bits := range []int{128, 256, 512, 1024} {
+		est := e.Estimate(ShorProfile(bits))
+		bw := NaiveBandwidth(est.TotalPhysical)
+		if bw <= prev {
+			t.Errorf("bandwidth not increasing at %d bits", bits)
+		}
+		prev = bw
+		perQubit := bw / float64(est.TotalPhysical)
+		if perQubit != PhysInstrBytes*QubitRateHz {
+			t.Errorf("per-qubit bandwidth = %v", perQubit)
+		}
+	}
+}
+
+func TestFigure6OverheadBand(t *testing.T) {
+	// "QECC requires an instruction overhead of 4 to 9 orders of magnitude"
+	// and "almost 99.999% bandwidth is dedicated to QECC".
+	e := NewEstimator()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range Suite() {
+		est := e.Estimate(p)
+		oom := math.Log10(est.QECCOverhead())
+		if oom < lo {
+			lo = oom
+		}
+		if oom > hi {
+			hi = oom
+		}
+		frac := est.QECCInstrs / (est.QECCInstrs + est.LogicalInstrs)
+		if frac < 0.9999 {
+			t.Errorf("%s: QECC fraction %v below 99.99%%", p.Name, frac)
+		}
+	}
+	// Paper band: 4-9 orders. Our calibration spans ≈10^5.3..10^9 — the low
+	// end sits a little above the paper's because our failure-budget model
+	// floors the smallest workload's distance at 5 (see EXPERIMENTS.md).
+	if lo < 4 || lo > 6.5 {
+		t.Errorf("min overhead 10^%.1f outside the 4-9 band start", lo)
+	}
+	if hi < 8 || hi > 10 {
+		t.Errorf("max overhead 10^%.1f outside the 4-9 band end", hi)
+	}
+	if hi-lo < 2.5 {
+		t.Errorf("overhead spread only %.1f orders — workloads too uniform", hi-lo)
+	}
+}
+
+func TestFigure13TFactoryOverheadBand(t *testing.T) {
+	// T-factory instructions dominate logical traffic by 10x-10000x.
+	e := NewEstimator()
+	for _, p := range Suite() {
+		est := e.Estimate(p)
+		ov := est.TFactoryOverhead()
+		if ov < 10 || ov > 1e5 {
+			t.Errorf("%s: T-factory overhead %v outside plausible band", p.Name, ov)
+		}
+		if est.DistillRounds < 1 {
+			t.Errorf("%s: no distillation rounds at p=1e-4", p.Name)
+		}
+		if est.Factories < 1 {
+			t.Errorf("%s: no factories provisioned", p.Name)
+		}
+	}
+}
+
+func TestFigure14SavingsBands(t *testing.T) {
+	// QuEST alone: at least five orders of magnitude. With caching: around
+	// eight (the paper's headline).
+	e := NewEstimator()
+	var s1s, s2s []float64
+	for _, p := range Suite() {
+		est := e.Estimate(p)
+		s1 := math.Log10(est.SavingsQuEST())
+		s2 := math.Log10(est.SavingsQuESTCache())
+		s1s = append(s1s, s1)
+		s2s = append(s2s, s2)
+		if s1 < 4.6 {
+			t.Errorf("%s: QuEST savings only 10^%.1f, want ≥ ~10^5", p.Name, s1)
+		}
+		if s2-s1 < 1.1 || s2-s1 > 4 {
+			t.Errorf("%s: cache adds 10^%.1f, want ~2-3 orders", p.Name, s2-s1)
+		}
+		if s2 < 5.8 || s2 > 10.5 {
+			t.Errorf("%s: total savings 10^%.1f, want ≈8 orders", p.Name, s2)
+		}
+	}
+	// The large workloads (most of the suite) must clear the paper's
+	// headline bands: ≥10^5 from hardware QECC, ≈10^8 with caching.
+	ge := func(xs []float64, th float64) int {
+		n := 0
+		for _, x := range xs {
+			if x >= th {
+				n++
+			}
+		}
+		return n
+	}
+	if ge(s1s, 5) < 5 {
+		t.Errorf("only %d/7 workloads reach 10^5 QuEST savings: %v", ge(s1s, 5), s1s)
+	}
+	if ge(s2s, 7.8) < 3 {
+		t.Errorf("only %d/7 workloads reach ≈10^8 total savings: %v", ge(s2s, 7.8), s2s)
+	}
+}
+
+func TestFigure15ErrorRateSensitivity(t *testing.T) {
+	// Lower physical error rate → smaller distance → fewer physical qubits →
+	// less QECC bloat → smaller savings; distillation overhead stays ~flat.
+	rates := []float64{1e-3, 1e-4, 1e-5}
+	var savings, distOv []float64
+	for _, r := range rates {
+		e := NewEstimator()
+		e.PhysRate = r
+		est := e.Estimate(GSE)
+		savings = append(savings, est.SavingsQuEST())
+		distOv = append(distOv, est.TFactoryOverhead())
+	}
+	if !(savings[0] > savings[1] && savings[1] > savings[2]) {
+		t.Errorf("savings not decreasing with error rate: %v", savings)
+	}
+	// Distillation overhead varies far less than QECC savings do.
+	distSpread := distOv[0] / distOv[2]
+	savSpread := savings[0] / savings[2]
+	if distSpread > savSpread {
+		t.Errorf("distill overhead spread %v exceeds savings spread %v", distSpread, savSpread)
+	}
+}
+
+func TestEstimateInternalConsistency(t *testing.T) {
+	e := NewEstimator()
+	est := e.Estimate(QLS)
+	if est.TotalPhysical != est.DataQubits+est.FactoryQubits {
+		t.Error("qubit partition broken")
+	}
+	if est.RuntimeSec <= 0 || est.ECCRounds <= 0 {
+		t.Error("non-positive runtime")
+	}
+	if est.BaselineBytes <= est.QuESTBytes || est.QuESTBytes <= est.QuESTCacheBytes {
+		t.Error("architecture ordering violated")
+	}
+	// Bandwidths = bytes/runtime.
+	if math.Abs(est.BaselineBandwidth()-est.BaselineBytes/est.RuntimeSec) > 1e-6 {
+		t.Error("baseline bandwidth inconsistent")
+	}
+	if est.Distance < 3 {
+		t.Error("distance below minimum")
+	}
+}
+
+func TestSyndromeChoiceBarelyMovesSavings(t *testing.T) {
+	// §7: "both the technology parameters and the syndrome design have
+	// little impact on bandwidth savings".
+	for _, p := range []Profile{BWT, GSE, Shor1024} {
+		var vals []float64
+		for _, sched := range []surface.Schedule{surface.Steane, surface.Shor} {
+			for _, tech := range Techs() {
+				e := NewEstimator()
+				e.Schedule = sched
+				e.Tech = tech
+				vals = append(vals, math.Log10(e.Estimate(p).SavingsQuESTCache()))
+			}
+		}
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if hi-lo > 0.3 {
+			t.Errorf("%s: savings vary by 10^%.2f across configs, want nearly constant", p.Name, hi-lo)
+		}
+	}
+}
+
+func TestEstimatePanicsOnInvalidProfile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid profile accepted")
+		}
+	}()
+	NewEstimator().Estimate(Profile{})
+}
+
+func TestSyntheticProgramMatchesProfile(t *testing.T) {
+	for _, p := range Suite() {
+		prog := SyntheticProgram(p, 3000)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		s := prog.Stats()
+		if s.Total != 3000 {
+			t.Fatalf("%s: %d instructions", p.Name, s.Total)
+		}
+		if math.Abs(s.TFraction-p.TFraction) > 0.08 {
+			t.Errorf("%s: synthetic T fraction %.3f vs profile %.3f", p.Name, s.TFraction, p.TFraction)
+		}
+		// Deterministic.
+		again := SyntheticProgram(p, 3000)
+		for i := range prog.Instrs {
+			if prog.Instrs[i] != again.Instrs[i] {
+				t.Fatalf("%s: nondeterministic at %d", p.Name, i)
+			}
+		}
+	}
+	expectPanic := func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero instrs accepted")
+			}
+		}()
+		SyntheticProgram(BWT, 0)
+	}
+	expectPanic()
+}
+
+func TestSyntheticProgramILPInBand(t *testing.T) {
+	// The schedule of a synthetic workload recovers the paper's 2-3 ILP band
+	// — the estimator's ILP parameter is not an arbitrary knob.
+	prog := SyntheticProgram(GSE, 2000)
+	res, err := sched.Schedule(prog, sched.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ILP < 1.8 || res.ILP > 3.6 {
+		t.Errorf("synthetic ILP %.2f far from the 2-3 band", res.ILP)
+	}
+}

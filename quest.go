@@ -1,0 +1,112 @@
+// Package quest is the public API of this repository: a from-scratch Go
+// implementation of QuEST (Quantum Error-Correction Substrate), the
+// hardware-managed quantum error correction control-processor architecture
+// of Tannu et al., MICRO-50 2017 ("Taming the Instruction Bandwidth of
+// Quantum Computers via Hardware-Managed Error Correction").
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - Machine construction and program execution: a cycle-level simulation
+//     of the whole stack — master controller, micro-coded control engines
+//     (MCEs), microcode memories, primeline execution units, and a
+//     stabilizer-simulated superconducting qubit substrate with Pauli noise
+//     and two-level decoding.
+//   - Resource estimation: the QuRE-style analytical estimator that derives
+//     code distances, physical qubit counts, T-factory provisioning and
+//     instruction bandwidth for the paper's seven workloads.
+//   - Experiments: one driver per figure/table of the paper's evaluation.
+//
+// Quickstart:
+//
+//	m := quest.NewMachine(quest.DefaultMachineConfig())
+//	p := quest.NewProgram(2)
+//	p.Prep0(0).X(0).CNOT(0, 1).MeasZ(0)
+//	rep, err := m.RunProgram(p, 0)
+//	// rep.Savings() is the measured baseline:QuEST bus-traffic ratio.
+package quest
+
+import (
+	"quest/internal/compiler"
+	"quest/internal/core"
+	"quest/internal/microcode"
+	"quest/internal/noise"
+	"quest/internal/surface"
+	"quest/internal/workload"
+)
+
+// Machine is the end-to-end cycle-level QuEST machine.
+type Machine = core.Machine
+
+// MachineConfig sizes a machine.
+type MachineConfig = core.MachineConfig
+
+// RunReport summarizes a program execution under the three bus-accounting
+// models (baseline, QuEST, QuEST+cache).
+type RunReport = core.RunReport
+
+// Program is a logical (fault-tolerant) circuit.
+type Program = compiler.Program
+
+// Layout places logical qubits as surface-code patches on an MCE tile.
+type Layout = compiler.Layout
+
+// NoiseModel holds per-location Pauli fault probabilities.
+type NoiseModel = noise.Model
+
+// Schedule describes a syndrome-generation design (Steane, Shor, SC-17,
+// SC-13).
+type Schedule = surface.Schedule
+
+// Design selects a microcode memory organization.
+type Design = microcode.Design
+
+// Estimator derives resources and bandwidth for workloads (the QuRE
+// substitute).
+type Estimator = workload.Estimator
+
+// Estimate is a full per-workload resource derivation.
+type Estimate = workload.Estimate
+
+// Profile is a workload's logical-level footprint.
+type Profile = workload.Profile
+
+// Microcode memory organizations (Figures 10 and 11).
+const (
+	DesignRAM      = microcode.DesignRAM
+	DesignFIFO     = microcode.DesignFIFO
+	DesignUnitCell = microcode.DesignUnitCell
+)
+
+// Syndrome schedules evaluated by the paper.
+var (
+	Steane = surface.Steane
+	Shor   = surface.Shor
+	SC17   = surface.SC17
+	SC13   = surface.SC13
+)
+
+// NewMachine builds a cycle-level machine.
+func NewMachine(cfg MachineConfig) *Machine { return core.NewMachine(cfg) }
+
+// DefaultMachineConfig returns a small fully functional machine
+// configuration.
+func DefaultMachineConfig() MachineConfig { return core.DefaultMachineConfig() }
+
+// NewProgram returns an empty logical program over n logical qubits.
+func NewProgram(n int) *Program { return compiler.NewProgram(n) }
+
+// NewLayout builds a tile layout of n distance-d patches.
+func NewLayout(d, n int) Layout { return compiler.NewLayout(d, n) }
+
+// UniformNoise returns a noise model with every location failing at rate p.
+func UniformNoise(p float64) NoiseModel { return noise.Uniform(p) }
+
+// NewEstimator returns an estimator at the paper's default operating point
+// (Projected_D technology, Steane syndrome, physical error rate 1e-4).
+func NewEstimator() *Estimator { return workload.NewEstimator() }
+
+// Workloads returns the paper's seven-workload evaluation suite.
+func Workloads() []Profile { return workload.Suite() }
+
+// ShorProfile returns the workload profile for factoring an n-bit modulus.
+func ShorProfile(bits int) Profile { return workload.ShorProfile(bits) }
