@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt experiments examples fuzz clean
+.PHONY: all build test test-short race bench vet fmt experiments examples fuzz clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over everything, including the Monte-Carlo worker pool
+# and its shared bandwidth.Counter use (see internal/mc).
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

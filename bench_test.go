@@ -15,6 +15,7 @@ import (
 
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"quest/internal/awg"
 	"quest/internal/clifford"
@@ -326,6 +327,31 @@ func BenchmarkAblationWindowedDecode(b *testing.B) {
 			w.Flush(frame)
 		}
 	})
+}
+
+// BenchmarkThresholdSweepWorkers measures the parallel Monte-Carlo engine
+// on the threshold sweep: the same (rates × distances × trials) cell grid
+// at 1 worker versus all cores. The rows are bit-identical across the two
+// runs (per-trial seeding, trial-order reduction); only wall-clock changes.
+// On a 4+-core box the workers-N variant should run ≥2× faster.
+func BenchmarkThresholdSweepWorkers(b *testing.B) {
+	rates := []float64{1e-3}
+	distances := []int{3, 5}
+	const trials = 48
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			var rows []core.ThresholdRow
+			for i := 0; i < b.N; i++ {
+				rows = core.Threshold(rates, distances, trials, w)
+			}
+			b.ReportMetric(rows[0].FailRate, "d3-fail-rate")
+			b.ReportMetric(float64(w), "workers")
+		})
+	}
 }
 
 // BenchmarkEstimatorFullSuite times a complete workload-suite estimation.

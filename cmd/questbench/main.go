@@ -2,9 +2,16 @@
 // evaluation section as text tables. Run with no arguments for everything,
 // or name experiments: fig2 fig6 fig10 fig11 fig13 fig14 fig15 fig16 table1
 // table2 machine.
+//
+// The statistical paths (threshold, memory, and the -md report's validation
+// section) accept -trials and -workers. Trials fan out across a worker pool
+// with per-trial seeds mixed from a fixed experiment seed, so the printed
+// rates are bit-identical for every -workers value — crank workers for
+// wall-clock, crank trials for confidence.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -14,6 +21,20 @@ import (
 	"quest/internal/core"
 	"quest/internal/workload"
 )
+
+var (
+	flagMD      = flag.Bool("md", false, "emit the full evaluation as a Markdown report")
+	flagTrials  = flag.Int("trials", 0, "Monte-Carlo trials per statistical cell (0 = per-experiment default)")
+	flagWorkers = flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
+)
+
+// trialsOr returns the -trials override, or the path's default.
+func trialsOr(def int) int {
+	if *flagTrials > 0 {
+		return *flagTrials
+	}
+	return def
+}
 
 var experiments = []struct {
 	name string
@@ -39,10 +60,11 @@ var experiments = []struct {
 }
 
 func main() {
-	args := os.Args[1:]
-	if len(args) == 1 && args[0] == "-md" {
+	flag.Parse()
+	args := flag.Args()
+	if *flagMD {
 		// Full evaluation as a self-contained Markdown report.
-		fmt.Print(core.MarkdownReport(150))
+		fmt.Print(core.MarkdownReport(trialsOr(150), *flagWorkers))
 		return
 	}
 	if len(args) == 0 {
@@ -225,29 +247,31 @@ func dramExt() {
 
 func threshold() {
 	var rows [][]string
-	for _, r := range core.Threshold([]float64{2e-3, 1e-3, 5e-4}, []int{3, 5}, 200) {
+	for _, r := range core.Threshold([]float64{2e-3, 1e-3, 5e-4}, []int{3, 5}, trialsOr(200), *flagWorkers) {
 		rows = append(rows, []string{
 			fmt.Sprintf("%.0e", r.PhysRate), strconv.Itoa(r.Distance),
-			fmt.Sprintf("%.4f", r.FailRate), strconv.Itoa(r.Trials),
+			fmt.Sprintf("%.4f", r.FailRate),
+			fmt.Sprintf("[%.4f, %.4f]", r.WilsonLo, r.WilsonHi), strconv.Itoa(r.Trials),
 		})
 	}
-	fmt.Print(core.FormatTable([]string{"phys-rate", "distance", "logical-fail", "trials"}, rows))
+	fmt.Print(core.FormatTable([]string{"phys-rate", "distance", "logical-fail", "95% CI", "trials"}, rows))
 }
 
 func memory() {
 	var rows [][]string
 	for _, p := range []float64{0, 1e-4, 5e-4} {
-		r, err := core.MachineMemory(p, 8, 40)
+		r, err := core.MachineMemory(p, 8, trialsOr(40), *flagWorkers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "memory experiment failed:", err)
 			os.Exit(1)
 		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%.0e", r.PhysRate), strconv.Itoa(r.Rounds),
-			fmt.Sprintf("%.3f", r.FailRate()), strconv.Itoa(r.Trials),
+			fmt.Sprintf("%.3f", r.FailRate()),
+			fmt.Sprintf("[%.3f, %.3f]", r.WilsonLo, r.WilsonHi), strconv.Itoa(r.Trials),
 		})
 	}
-	fmt.Print(core.FormatTable([]string{"phys-rate", "rounds", "logical-fail", "trials"}, rows))
+	fmt.Print(core.FormatTable([]string{"phys-rate", "rounds", "logical-fail", "95% CI", "trials"}, rows))
 }
 
 func syndrome() {

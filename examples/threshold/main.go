@@ -18,7 +18,7 @@ func main() {
 	fmt.Println("================================================================")
 	rates := []float64{2e-3, 1e-3, 5e-4, 2e-4}
 	distances := []int{3, 5}
-	rows := core.Threshold(rates, distances, 300)
+	rows := core.Threshold(rates, distances, 300, 0) // workers=0: use all cores
 	fmt.Printf("%-10s", "p_phys")
 	for _, d := range distances {
 		fmt.Printf("  d=%d logical-fail", d)

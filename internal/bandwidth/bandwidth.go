@@ -22,20 +22,26 @@ const (
 	PBs BytesPerSec = 1e15
 )
 
-// String renders the rate with an SI prefix, e.g. "3.2 TB/s".
+// String renders the rate with an SI prefix, e.g. "3.2 TB/s". A value is
+// promoted to a unit not only when it reaches the unit's threshold but also
+// when %.3g would round its mantissa in the next unit down to 1000 —
+// otherwise 999,600 B/s prints as "1e+03 KB/s" instead of "1 MB/s" (the
+// threshold check and the 3-significant-digit rounding disagree in
+// [999.5, 1000) at every unit boundary).
 func (b BytesPerSec) String() string {
 	abs := math.Abs(float64(b))
-	switch {
-	case abs >= float64(PBs):
-		return fmt.Sprintf("%.3g PB/s", float64(b/PBs))
-	case abs >= float64(TBs):
-		return fmt.Sprintf("%.3g TB/s", float64(b/TBs))
-	case abs >= float64(GBs):
-		return fmt.Sprintf("%.3g GB/s", float64(b/GBs))
-	case abs >= float64(MBs):
-		return fmt.Sprintf("%.3g MB/s", float64(b/MBs))
-	case abs >= float64(KBs):
-		return fmt.Sprintf("%.3g KB/s", float64(b/KBs))
+	units := []struct {
+		scale float64
+		name  string
+	}{
+		{float64(PBs), "PB/s"}, {float64(TBs), "TB/s"}, {float64(GBs), "GB/s"},
+		{float64(MBs), "MB/s"}, {float64(KBs), "KB/s"}, {1, "B/s"},
+	}
+	for i, u := range units {
+		promoted := i < len(units)-1 && abs >= units[i+1].scale*999.5
+		if abs >= u.scale || promoted {
+			return fmt.Sprintf("%.3g %s", float64(b)/u.scale, u.name)
+		}
 	}
 	return fmt.Sprintf("%.3g B/s", float64(b))
 }

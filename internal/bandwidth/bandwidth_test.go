@@ -105,3 +105,27 @@ func TestBreakdown(t *testing.T) {
 		t.Error("empty breakdown fraction nonzero")
 	}
 }
+
+// TestRateFormattingUnitBoundary is the regression test for the SI boundary
+// bug: values whose %.3g mantissa rounds to 1000 must promote to the next
+// unit instead of printing "1e+03 KB/s".
+func TestRateFormattingUnitBoundary(t *testing.T) {
+	cases := []struct {
+		in   BytesPerSec
+		want string
+	}{
+		{999600, "1 MB/s"},          // the reported bug
+		{999.6, "1 KB/s"},           // B/s -> KB/s boundary
+		{999.6 * GBs, "1 TB/s"},     // GB/s -> TB/s boundary
+		{999.6 * TBs, "1 PB/s"},     // TB/s -> PB/s boundary
+		{-999600, "-1 MB/s"},        // sign preserved through promotion
+		{999.4 * KBs, "999 KB/s"},   // just below the rounding cliff
+		{1001 * KBs, "1 MB/s"},      // normal promotion unaffected
+		{999.6 * PBs, "1e+03 PB/s"}, // no unit above PB/s to promote into
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%v String = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"unicode/utf8"
 )
 
 // Bar is one labelled value.
@@ -36,11 +37,14 @@ func Render(bars []Bar, opts Options) (string, error) {
 	if width <= 0 {
 		width = 50
 	}
+	// Label width counts runes, not bytes: the evaluation's own labels use
+	// multi-byte spellings ("µop", "log₁₀"), and byte-width padding would
+	// misalign every bar after them.
 	labelW := 0
 	maxV := math.Inf(-1)
 	for _, b := range bars {
-		if len(b.Label) > labelW {
-			labelW = len(b.Label)
+		if n := utf8.RuneCountInString(b.Label); n > labelW {
+			labelW = n
 		}
 		v := b.Value
 		if opts.Log {
@@ -72,8 +76,9 @@ func Render(bars []Bar, opts Options) (string, error) {
 		if opts.Log {
 			annot = fmt.Sprintf("10^%.1f%s", v, opts.Unit)
 		}
-		fmt.Fprintf(&sb, "%-*s |%s%s %s\n",
-			labelW, b.Label, strings.Repeat("█", n), strings.Repeat(" ", width-n), annot)
+		pad := strings.Repeat(" ", labelW-utf8.RuneCountInString(b.Label))
+		fmt.Fprintf(&sb, "%s%s |%s%s %s\n",
+			b.Label, pad, strings.Repeat("█", n), strings.Repeat(" ", width-n), annot)
 	}
 	return sb.String(), nil
 }

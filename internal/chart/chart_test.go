@@ -89,3 +89,30 @@ func TestPropertyRenderNeverOverflows(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRenderAlignsMultibyteLabels is the regression test for the rune-width
+// bug: labels like "µop" and "log₁₀" are longer in bytes than runes, and
+// byte-based padding pushed their bars out of column.
+func TestRenderAlignsMultibyteLabels(t *testing.T) {
+	out, err := Render([]Bar{
+		{"µop", 4}, {"log₁₀", 8}, {"ascii", 2},
+	}, Options{Width: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	col := -1
+	for _, line := range lines {
+		at := strings.IndexRune(line, '|')
+		if at < 0 {
+			t.Fatalf("no bar in %q", line)
+		}
+		// Column position in runes, so the check matches what a terminal shows.
+		runeAt := len([]rune(line[:at]))
+		if col == -1 {
+			col = runeAt
+		} else if runeAt != col {
+			t.Errorf("bar column %d != %d:\n%s", runeAt, col, out)
+		}
+	}
+}

@@ -368,7 +368,7 @@ func TestMachineWithNoCAndUnionFindWindow(t *testing.T) {
 }
 
 func TestThresholdExperiment(t *testing.T) {
-	rows := Threshold([]float64{1e-3}, []int{3, 5}, 120)
+	rows := Threshold([]float64{1e-3}, []int{3, 5}, 120, 0)
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -386,7 +386,7 @@ func TestThresholdExperiment(t *testing.T) {
 
 func TestMachineMemoryExperiment(t *testing.T) {
 	// Noiseless: zero failures, ever.
-	clean, err := MachineMemory(0, 6, 10)
+	clean, err := MachineMemory(0, 6, 10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +394,7 @@ func TestMachineMemoryExperiment(t *testing.T) {
 		t.Fatalf("noiseless memory failed %d/10 trials", clean.Failures)
 	}
 	// Low noise through the full machine decode path: failures stay rare.
-	noisy, err := MachineMemory(2e-4, 6, 50)
+	noisy, err := MachineMemory(2e-4, 6, 50, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +424,7 @@ func TestSyndromeTrafficScalesWithNoise(t *testing.T) {
 }
 
 func TestMarkdownReport(t *testing.T) {
-	md := MarkdownReport(0)
+	md := MarkdownReport(0, 0)
 	for _, frag := range []string{
 		"## Figure 2", "## Figure 6", "## Figure 10", "## Figure 11",
 		"## Figure 13", "## Figure 14", "## Figure 15", "## Figure 16",
@@ -438,7 +438,7 @@ func TestMarkdownReport(t *testing.T) {
 	if strings.Contains(md, "Validation — logical failure") {
 		t.Error("statistical section present at statTrials=0")
 	}
-	withStats := MarkdownReport(20)
+	withStats := MarkdownReport(20, 0)
 	if !strings.Contains(withStats, "Validation — logical failure") {
 		t.Error("statistical section missing at statTrials=20")
 	}

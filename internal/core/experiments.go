@@ -16,6 +16,7 @@ import (
 	"quest/internal/dram"
 	"quest/internal/isa"
 	"quest/internal/jj"
+	"quest/internal/mc"
 	"quest/internal/microcode"
 	"quest/internal/noise"
 	"quest/internal/surface"
@@ -438,27 +439,41 @@ func ExtDRAM() []DRAMRow {
 	return rows
 }
 
+// ExperimentSeed is the fixed experiment-level seed all statistical sweeps
+// mix their cell parameters into. One constant, published here, so results
+// are reproducible run to run; per-cell and per-trial seeds are derived
+// from it with mc.Seed, never reused across sweep cells.
+const ExperimentSeed uint64 = 0x5eed_c0de_2017
+
 // ThresholdRow is one cell of the logical-failure-rate sweep: the functional
 // validation that the QECC substrate actually corrects (not a paper figure,
-// but the property the whole instruction stream pays for).
+// but the property the whole instruction stream pays for). WilsonLo/Hi
+// bound FailRate at 95% confidence.
 type ThresholdRow struct {
-	PhysRate float64
-	Distance int
-	FailRate float64
-	Trials   int
+	PhysRate           float64
+	Distance           int
+	FailRate           float64
+	WilsonLo, WilsonHi float64
+	Trials             int
 }
 
 // Threshold sweeps physical error rates and code distances through the full
 // decode path: noisy syndrome extraction, d-round space-time windowed
-// matching, Pauli-frame verification against ground truth.
-func Threshold(rates []float64, distances []int, trials int) []ThresholdRow {
+// matching, Pauli-frame verification against ground truth. Trials fan out
+// over `workers` goroutines (<=0 means GOMAXPROCS); rows are bit-identical
+// for any worker count because every trial is seeded from
+// (ExperimentSeed, p, d, trial) alone.
+func Threshold(rates []float64, distances []int, trials, workers int) []ThresholdRow {
 	var rows []ThresholdRow
 	for _, p := range rates {
 		for _, d := range distances {
+			res := logicalFailRate(d, p, trials, workers)
 			rows = append(rows, ThresholdRow{
 				PhysRate: p,
 				Distance: d,
-				FailRate: logicalFailRate(d, p, trials),
+				FailRate: res.Rate,
+				WilsonLo: res.WilsonLo,
+				WilsonHi: res.WilsonHi,
 				Trials:   trials,
 			})
 		}
@@ -467,14 +482,17 @@ func Threshold(rates []float64, distances []int, trials int) []ThresholdRow {
 }
 
 // logicalFailRate runs `trials` independent noisy memory experiments at
-// distance d and physical rate p, decoding with a d-round window.
-func logicalFailRate(d int, p float64, trials int) float64 {
+// distance d and physical rate p, decoding with a d-round window. The noise
+// model is noise.Uniform(p) — every location including preparation fails at
+// p, the paper's single-rate convention (an earlier version dropped the
+// Prep channel and under-reported failure rates; see CHANGES.md).
+func logicalFailRate(d int, p float64, trials, workers int) mc.Result {
 	lat := surface.NewPlanar(d)
 	words := surface.CompileCycle(lat, surface.Steane, nil)
-	failures := 0
-	for trial := 0; trial < trials; trial++ {
-		tb := clifford.New(lat.NumQubits(), rand.New(rand.NewSource(int64(trial)+1)))
-		inj := noise.NewInjector(noise.Model{Gate1: p, Gate2: p, Idle: p, Meas: p}, int64(trial)*13+7)
+	cell := mc.Seed(ExperimentSeed, mc.F64(p), uint64(d))
+	return mc.Run(trials, workers, cell, func(trial int, seed uint64) mc.Outcome {
+		tb := clifford.New(lat.NumQubits(), rand.New(rand.NewSource(int64(mc.Derive(seed, 0)))))
+		inj := noise.NewInjector(noise.Uniform(p), int64(mc.Derive(seed, 1)))
 		noisy := awg.New(tb, inj)
 		clean := awg.New(tb, nil)
 		run := func(u *awg.ExecutionUnit) map[int]int {
@@ -499,11 +517,8 @@ func logicalFailRate(d int, p float64, trials int) float64 {
 		logZ := lat.LogicalZ()
 		raw := tb.MeasureObservable(nil, logZ)
 		want := 1 - 2*frame.ParityOn(logZ, true)
-		if raw != 0 && raw != want {
-			failures++
-		}
-	}
-	return float64(failures) / float64(trials)
+		return mc.Outcome{Fail: raw != 0 && raw != want}
+	})
 }
 
 // MemoryRow is one operating point of the machine-level logical memory
@@ -512,22 +527,27 @@ func logicalFailRate(d int, p float64, trials int) float64 {
 // replay, local LUT decode, windowed global decode — and measures how often
 // a logical |0> held for `rounds` noisy QECC cycles reads back wrong.
 type MemoryRow struct {
-	PhysRate float64
-	Rounds   int
-	Failures int
-	Trials   int
+	PhysRate           float64
+	Rounds             int
+	Failures           int
+	WilsonLo, WilsonHi float64
+	Trials             int
 }
 
 // FailRate returns the measured logical failure fraction.
 func (r MemoryRow) FailRate() float64 { return float64(r.Failures) / float64(r.Trials) }
 
-// MachineMemory runs the end-to-end memory experiment.
-func MachineMemory(physRate float64, rounds, trials int) (MemoryRow, error) {
-	row := MemoryRow{PhysRate: physRate, Rounds: rounds, Trials: trials}
-	for trial := 0; trial < trials; trial++ {
+// MachineMemory runs the end-to-end memory experiment, fanning trials over
+// `workers` goroutines (<=0 means GOMAXPROCS). Each trial builds its own
+// machine seeded from (ExperimentSeed, physRate, rounds, trial), so the row
+// is bit-identical for any worker count and uncorrelated with the
+// Threshold sweep's fault patterns.
+func MachineMemory(physRate float64, rounds, trials, workers int) (MemoryRow, error) {
+	cell := mc.Seed(ExperimentSeed, mc.F64(physRate), uint64(rounds), 0x3e3)
+	res := mc.Run(trials, workers, cell, func(trial int, seed uint64) mc.Outcome {
 		cfg := DefaultMachineConfig()
 		cfg.PatchesPerTile = 1
-		cfg.Seed = int64(trial)*31 + 5
+		cfg.Seed = int64(seed)
 		cfg.DecodeWindow = cfg.Distance
 		if physRate > 0 {
 			nm := noise.Uniform(physRate)
@@ -537,17 +557,17 @@ func MachineMemory(physRate float64, rounds, trials int) (MemoryRow, error) {
 		mm := m.Master()
 		mm.StepCycle()
 		if err := mm.Dispatch(0, isa.LogicalInstr{Op: isa.LPrep0, Target: 0}); err != nil {
-			return row, err
+			return mc.Outcome{Err: err}
 		}
 		for c := 0; c < rounds; c++ {
 			mm.StepCycle()
 		}
 		if err := mm.Dispatch(0, isa.LogicalInstr{Op: isa.LMeasZ, Target: 0}); err != nil {
-			return row, err
+			return mc.Outcome{Err: err}
 		}
 		reps, ok := mm.RunUntilDrained(rounds + 50)
 		if !ok {
-			return row, fmt.Errorf("core: memory trial %d did not drain", trial)
+			return mc.Outcome{Err: fmt.Errorf("core: memory trial %d did not drain", trial)}
 		}
 		got := -1
 		for _, r := range reps {
@@ -555,11 +575,17 @@ func MachineMemory(physRate float64, rounds, trials int) (MemoryRow, error) {
 				got = res.Bit
 			}
 		}
-		if got != 0 {
-			row.Failures++
-		}
+		return mc.Outcome{Fail: got != 0}
+	})
+	row := MemoryRow{
+		PhysRate: physRate,
+		Rounds:   rounds,
+		Failures: res.Failures,
+		WilsonLo: res.WilsonLo,
+		WilsonHi: res.WilsonHi,
+		Trials:   trials,
 	}
-	return row, nil
+	return row, res.Err
 }
 
 // SyndromeRow compares upstream decode traffic against downstream

@@ -12,8 +12,9 @@ import (
 // Markdown document — the live counterpart of EXPERIMENTS.md, produced from
 // the current code rather than a past run (`questbench -md > REPORT.md`).
 // Slow statistical sections (threshold, machine memory) run with the given
-// trial count; zero skips them.
-func MarkdownReport(statTrials int) string {
+// trial count (zero skips them) fanned over `workers` goroutines (<=0 means
+// GOMAXPROCS); the statistical numbers do not depend on the worker count.
+func MarkdownReport(statTrials, workers int) string {
 	var b strings.Builder
 	b.WriteString("# QuEST evaluation report (regenerated)\n\n")
 	b.WriteString("Operating point: Projected_D technology, Steane syndrome, physical error rate 1e-4.\n")
@@ -112,14 +113,16 @@ func MarkdownReport(statTrials int) string {
 
 	if statTrials > 0 {
 		section("Validation — logical failure rates (statistical)")
-		header("phys rate", "distance", "fail rate", "trials")
-		for _, r := range Threshold([]float64{1e-3, 5e-4}, []int{3, 5}, statTrials) {
+		header("phys rate", "distance", "fail rate", "95% CI", "trials")
+		for _, r := range Threshold([]float64{1e-3, 5e-4}, []int{3, 5}, statTrials, workers) {
 			row(fmt.Sprintf("%.0e", r.PhysRate), itoa(r.Distance),
-				fmt.Sprintf("%.4f", r.FailRate), itoa(r.Trials))
+				fmt.Sprintf("%.4f", r.FailRate),
+				fmt.Sprintf("[%.4f, %.4f]", r.WilsonLo, r.WilsonHi), itoa(r.Trials))
 		}
-		if mem, err := MachineMemory(1e-4, 6, statTrials); err == nil {
-			fmt.Fprintf(&b, "\nMachine-level memory at p=1e-4 over %d rounds: %.3f failure rate (%d trials).\n",
-				mem.Rounds, mem.FailRate(), mem.Trials)
+		if mem, err := MachineMemory(1e-4, 6, statTrials, workers); err == nil {
+			fmt.Fprintf(&b, "\nMachine-level memory at p=1e-4 over %d rounds: %.3f failure rate "+
+				"(95%% CI [%.3f, %.3f], %d trials).\n",
+				mem.Rounds, mem.FailRate(), mem.WilsonLo, mem.WilsonHi, mem.Trials)
 		}
 	}
 

@@ -7,6 +7,7 @@ import (
 	"quest/internal/awg"
 	"quest/internal/clifford"
 	"quest/internal/isa"
+	"quest/internal/mc"
 	"quest/internal/noise"
 	"quest/internal/surface"
 )
@@ -56,15 +57,19 @@ func TestWindowFlushAndClamp(t *testing.T) {
 	}
 }
 
-// windowedFailRate runs the full path with window = distance rounds.
+// windowedFailRate runs the full path with window = distance rounds,
+// fanning trials over the mc pool (workers <= 0 uses GOMAXPROCS). The
+// noise model is noise.Uniform(p) — including the Prep channel — and each
+// trial is seeded from (cell, trial) via the mc mixer, so distinct (d, p)
+// cells never replay correlated fault patterns.
 func windowedFailRate(t *testing.T, d int, p float64, trials int) float64 {
 	t.Helper()
 	lat := surface.NewPlanar(d)
 	words := surface.CompileCycle(lat, surface.Steane, nil)
-	failures := 0
-	for trial := 0; trial < trials; trial++ {
-		tb := clifford.New(lat.NumQubits(), rand.New(rand.NewSource(int64(trial)+1)))
-		inj := noise.NewInjector(noise.Model{Gate1: p, Gate2: p, Idle: p, Meas: p}, int64(trial)*13+7)
+	cell := mc.Seed(0xdec0de, mc.F64(p), uint64(d))
+	res := mc.Run(trials, 0, cell, func(trial int, seed uint64) mc.Outcome {
+		tb := clifford.New(lat.NumQubits(), rand.New(rand.NewSource(int64(mc.Derive(seed, 0)))))
+		inj := noise.NewInjector(noise.Uniform(p), int64(mc.Derive(seed, 1)))
 		noisy := awg.New(tb, inj)
 		clean := awg.New(tb, nil)
 		run := func(u *awg.ExecutionUnit) map[int]int {
@@ -89,12 +94,10 @@ func windowedFailRate(t *testing.T, d int, p float64, trials int) float64 {
 		logZ := lat.LogicalZ()
 		raw := tb.MeasureObservable(nil, logZ)
 		want := 1 - 2*frame.ParityOn(logZ, true)
-		if raw != 0 && raw != want {
-			failures++
-		}
-	}
+		return mc.Outcome{Fail: raw != 0 && raw != want}
+	})
 	_ = isa.OpIdle
-	return float64(failures) / float64(trials)
+	return res.Rate
 }
 
 // TestDistanceSuppressionWithWindowedDecode is the qualitative threshold

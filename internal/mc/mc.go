@@ -1,0 +1,166 @@
+// Package mc is the repository's parallel Monte-Carlo trial engine. Every
+// statistical experiment — the threshold sweep, the machine-level memory
+// experiment, the windowed-decoder validation — is "run N independent noisy
+// trials, count failures", and decode throughput is exactly what gates
+// statistical confidence (cf. the decoder micro-architectures of Das et al.
+// and the feedback system of Liu et al.). Run fans trials across a bounded
+// worker pool while keeping the statistics bit-identical for any worker
+// count:
+//
+//   - each trial's randomness comes only from a per-trial seed derived with
+//     a SplitMix64-style mix of (experiment seed, cell parameters, trial
+//     index), never from shared RNG state or scheduling order;
+//   - outcomes are recorded per trial index and reduced in trial order, so
+//     the returned counts, error and confidence interval do not depend on
+//     which goroutine finished first.
+//
+// Sweep-style experiments mix their cell parameters (error rate, distance,
+// rounds, ...) into the cell seed with Seed/F64 so that no two sweep cells
+// replay correlated fault patterns — the seed-reuse bug this package was
+// built to kill.
+package mc
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Outcome is the result of a single trial.
+type Outcome struct {
+	// Fail marks the trial as a failure (a logical error, a wrong readout).
+	Fail bool
+	// Err is a trial-level execution error (machine did not drain, bad
+	// config). The first error in trial order is surfaced on the Result.
+	Err error
+}
+
+// Result aggregates a run. Rate carries a Wilson score interval: with a
+// handful of failures out of a few hundred trials the normal approximation
+// is badly miscalibrated, while Wilson stays valid down to zero failures.
+type Result struct {
+	Trials   int
+	Failures int
+	// Rate is Failures/Trials (0 for an empty run).
+	Rate float64
+	// WilsonLo and WilsonHi bound Rate at 95% confidence.
+	WilsonLo, WilsonHi float64
+	// Err is the first trial error in trial order, nil if all trials ran.
+	Err error
+}
+
+// splitmix64 is the SplitMix64 output permutation (Steele, Lea & Flood) —
+// a cheap, well-mixed finalizer whose increment constant is the golden
+// ratio. Used both to combine seed words and to derive sub-streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Seed folds any number of 64-bit words (experiment seed, cell parameters,
+// indices) into one well-mixed seed. Word order matters, so Seed(a, b) and
+// Seed(b, a) name different streams.
+func Seed(words ...uint64) uint64 {
+	s := uint64(0x9e3779b97f4a7c15)
+	for _, w := range words {
+		s = splitmix64(s ^ w)
+	}
+	return s
+}
+
+// F64 maps a float parameter (an error rate, a duration) to a seed word via
+// its IEEE-754 bits, so distinct sweep values give distinct streams.
+func F64(p float64) uint64 { return math.Float64bits(p) }
+
+// TrialSeed derives the seed for one trial of a cell.
+func TrialSeed(cellSeed uint64, trial int) uint64 {
+	return Seed(cellSeed, uint64(trial))
+}
+
+// Derive splits a trial seed into independent sub-streams (tableau RNG,
+// injector RNG, ...) by lane index.
+func Derive(seed uint64, lane uint64) uint64 {
+	return Seed(seed, lane)
+}
+
+// Wilson returns the Wilson score interval for k failures in n trials at
+// normal quantile z (1.96 for 95%).
+func Wilson(failures, trials int, z float64) (lo, hi float64) {
+	if trials <= 0 {
+		return 0, 0
+	}
+	n := float64(trials)
+	p := float64(failures) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Run executes trials over a worker pool and reduces the outcomes.
+//
+// workers <= 0 uses GOMAXPROCS; the pool never exceeds the trial count.
+// fn is called once per trial index with a seed derived from
+// TrialSeed(cellSeed, trial); it must take all randomness from that seed
+// and must not touch shared mutable state (shared read-only tables — a
+// compiled lattice, a syndrome schedule — are fine). Under those rules the
+// Result is bit-identical for every worker count.
+//
+// A streaming failure counter is kept while trials complete (completed
+// trials are monotonic, and addition commutes), but the error, if any, is
+// selected by trial order, not completion order.
+func Run(trials, workers int, cellSeed uint64, fn func(trial int, seed uint64) Outcome) Result {
+	if trials <= 0 {
+		return Result{}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	outcomes := make([]Outcome, trials)
+	var next atomic.Int64
+	var failures atomic.Int64 // streaming counter; final value == trial-order count
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= trials {
+					return
+				}
+				out := fn(t, TrialSeed(cellSeed, t))
+				outcomes[t] = out
+				if out.Fail {
+					failures.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res := Result{Trials: trials, Failures: int(failures.Load())}
+	for _, out := range outcomes { // trial order: first error wins
+		if out.Err != nil {
+			res.Err = out.Err
+			break
+		}
+	}
+	res.Rate = float64(res.Failures) / float64(trials)
+	res.WilsonLo, res.WilsonHi = Wilson(res.Failures, trials, 1.96)
+	return res
+}

@@ -1,0 +1,142 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"quest/internal/bandwidth"
+)
+
+// trialRate is a deterministic pseudo-experiment: fail iff the trial's own
+// seeded RNG says so. Any dependence on scheduling would break the
+// worker-count invariance asserted below.
+func trialRate(trial int, seed uint64) Outcome {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	return Outcome{Fail: rng.Float64() < 0.3}
+}
+
+func TestRunWorkerCountInvariant(t *testing.T) {
+	cell := Seed(42, F64(1e-3), 3)
+	base := Run(500, 1, cell, trialRate)
+	for _, w := range []int{2, 4, 8, 0} {
+		got := Run(500, w, cell, trialRate)
+		if got != base {
+			t.Errorf("workers=%d result %+v != workers=1 result %+v", w, got, base)
+		}
+	}
+	if base.Failures == 0 || base.Failures == 500 {
+		t.Fatalf("degenerate failure count %d", base.Failures)
+	}
+	if base.Rate != float64(base.Failures)/500 {
+		t.Errorf("rate %v inconsistent with %d/500", base.Rate, base.Failures)
+	}
+}
+
+func TestSeedsUncorrelatedAcrossCellsAndTrials(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, p := range []float64{1e-3, 5e-4, 1e-4} {
+		for _, d := range []int{3, 5, 7} {
+			cell := Seed(1, F64(p), uint64(d))
+			for trial := 0; trial < 50; trial++ {
+				s := TrialSeed(cell, trial)
+				id := fmt.Sprintf("p=%v d=%d t=%d", p, d, trial)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: %s and %s both map to %#x", prev, id, s)
+				}
+				seen[s] = id
+			}
+		}
+	}
+	// The historical bug: trial seeds identical for every (p, d) cell.
+	a := TrialSeed(Seed(1, F64(1e-3), 3), 7)
+	b := TrialSeed(Seed(1, F64(5e-4), 3), 7)
+	if a == b {
+		t.Error("same trial in different cells drew the same seed")
+	}
+}
+
+func TestDeriveLanesDiffer(t *testing.T) {
+	s := TrialSeed(Seed(9), 0)
+	if Derive(s, 0) == Derive(s, 1) {
+		t.Error("derived lanes collide")
+	}
+	if Derive(s, 0) == s {
+		t.Error("lane 0 equals parent seed")
+	}
+}
+
+func TestWilson(t *testing.T) {
+	cases := []struct {
+		k, n   int
+		lo, hi float64
+	}{
+		{0, 100, 0, 0.0370},
+		{5, 100, 0.0215, 0.1118},
+		{100, 100, 0.9630, 1},
+		{50, 100, 0.4038, 0.5962},
+	}
+	for _, c := range cases {
+		lo, hi := Wilson(c.k, c.n, 1.96)
+		if math.Abs(lo-c.lo) > 5e-4 || math.Abs(hi-c.hi) > 5e-4 {
+			t.Errorf("Wilson(%d,%d) = [%.4f, %.4f], want [%.4f, %.4f]", c.k, c.n, lo, hi, c.lo, c.hi)
+		}
+	}
+	if lo, hi := Wilson(1, 0, 1.96); lo != 0 || hi != 0 {
+		t.Errorf("Wilson with n=0 = [%v, %v]", lo, hi)
+	}
+}
+
+func TestRunEmptyAndError(t *testing.T) {
+	if res := Run(0, 4, 1, trialRate); res != (Result{}) {
+		t.Errorf("empty run = %+v", res)
+	}
+	errA, errB := errors.New("a"), errors.New("b")
+	res := Run(10, 4, 1, func(trial int, seed uint64) Outcome {
+		switch trial {
+		case 7:
+			return Outcome{Err: errB}
+		case 3:
+			return Outcome{Err: errA}
+		}
+		return Outcome{}
+	})
+	if res.Err != errA {
+		t.Errorf("Err = %v, want first error in trial order (a)", res.Err)
+	}
+}
+
+// TestRunSharedCounterUnderRace drives the pool with a shared
+// bandwidth.Counter — the concurrent use the Counter's atomics were built
+// for — so `go test -race` exercises the engine + counter combination.
+func TestRunSharedCounterUnderRace(t *testing.T) {
+	var ctr bandwidth.Counter
+	workers := runtime.GOMAXPROCS(0) * 4
+	res := Run(400, workers, Seed(7), func(trial int, seed uint64) Outcome {
+		ctr.Add(3, uint64(trial))
+		return Outcome{Fail: trial%5 == 0}
+	})
+	if res.Failures != 80 {
+		t.Errorf("failures = %d, want 80", res.Failures)
+	}
+	if got := ctr.Instructions(); got != 1200 {
+		t.Errorf("instructions = %d, want 1200", got)
+	}
+	if got := ctr.Bytes(); got != 400*399/2 {
+		t.Errorf("bytes = %d, want %d", got, 400*399/2)
+	}
+}
+
+func TestWilsonAttachedToResult(t *testing.T) {
+	res := Run(200, 4, Seed(3), trialRate)
+	lo, hi := Wilson(res.Failures, res.Trials, 1.96)
+	if res.WilsonLo != lo || res.WilsonHi != hi {
+		t.Errorf("result CI [%v, %v] != Wilson [%v, %v]", res.WilsonLo, res.WilsonHi, lo, hi)
+	}
+	if !(res.WilsonLo <= res.Rate && res.Rate <= res.WilsonHi) {
+		t.Errorf("rate %v outside its own CI [%v, %v]", res.Rate, res.WilsonLo, res.WilsonHi)
+	}
+}
