@@ -1,8 +1,14 @@
 # Convenience targets for the QuEST reproduction.
+#
+# Observability / CI targets:
+#   make bench-json   regenerate BENCH_PR2.json, the committed benchmark
+#                     baseline tools/benchdiff compares CI runs against
+#   make benchdiff    compare a fresh suite run against the committed baseline
+#   make lint         gofmt + vet (CI additionally runs staticcheck)
 
 GO ?= go
 
-.PHONY: all build test test-short race bench vet fmt experiments examples fuzz clean
+.PHONY: all build test test-short race bench bench-json benchdiff lint vet fmt experiments examples fuzz clean
 
 all: build vet test race
 
@@ -15,6 +21,9 @@ vet:
 fmt:
 	gofmt -l -w .
 
+lint: vet
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
@@ -22,12 +31,22 @@ test-short:
 	$(GO) test -short ./...
 
 # Race-detector pass over everything, including the Monte-Carlo worker pool
-# and its shared bandwidth.Counter use (see internal/mc).
+# and its per-worker metrics shards (see internal/mc and internal/metrics).
 race:
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the committed benchmark baseline (schema quest-bench/1; see
+# internal/benchsuite). Run on a quiet machine; CI compares against this file.
+bench-json:
+	$(GO) run ./cmd/questbench -bench-json BENCH_PR2.json
+
+# Compare a fresh suite run against the committed baseline (>30% ns/op fails).
+benchdiff:
+	$(GO) run ./cmd/questbench -bench-json /tmp/quest_bench_current.json
+	$(GO) run ./tools/benchdiff BENCH_PR2.json /tmp/quest_bench_current.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
@@ -48,6 +67,10 @@ fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/qasm/
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/qexe/
 
+# Remove only *untracked* files under the fuzz corpora directories (fuzzing
+# drops new inputs there) plus build artifacts. An earlier version ran
+# `rm -rf` on the whole testdata trees, which deleted the committed seed
+# corpora; TestCleanTargetPreservesTrackedTestdata pins the fix.
 clean:
-	rm -rf internal/qasm/testdata internal/qexe/testdata
+	git clean -fdx internal/qasm/testdata internal/qexe/testdata
 	$(GO) clean ./...

@@ -13,12 +13,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 
+	"quest/internal/benchsuite"
 	"quest/internal/chart"
 	"quest/internal/core"
+	"quest/internal/metrics"
 	"quest/internal/workload"
 )
 
@@ -26,6 +30,10 @@ var (
 	flagMD      = flag.Bool("md", false, "emit the full evaluation as a Markdown report")
 	flagTrials  = flag.Int("trials", 0, "Monte-Carlo trials per statistical cell (0 = per-experiment default)")
 	flagWorkers = flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
+	flagMetrics = flag.String("metrics", "", "dump the metrics registry at exit: 'text' or 'json'")
+	flagPprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while experiments run")
+	flagBench   = flag.String("bench-json", "", "run the performance benchmark suite and write the JSON report to this path ('-' for stdout), then exit")
+	flagBenchT  = flag.String("benchtime", "", "per-case benchtime for -bench-json ('1s', '100x'; default 1s)")
 )
 
 // trialsOr returns the -trials override, or the path's default.
@@ -62,6 +70,19 @@ var experiments = []struct {
 func main() {
 	flag.Parse()
 	args := flag.Args()
+	if *flagPprof != "" {
+		go func() {
+			if err := http.ListenAndServe(*flagPprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", *flagPprof)
+	}
+	if *flagBench != "" {
+		runBenchJSON(*flagBench, *flagBenchT)
+		return
+	}
+	defer dumpMetrics()
 	if *flagMD {
 		// Full evaluation as a self-contained Markdown report.
 		fmt.Print(core.MarkdownReport(trialsOr(150), *flagWorkers))
@@ -88,6 +109,50 @@ func main() {
 		}
 		runOne(experiments[i].name, experiments[i].desc, experiments[i].run)
 	}
+}
+
+// dumpMetrics writes the default registry to stderr at exit when -metrics is
+// set. Everything the experiments instrumented — decoder latencies, MCE
+// cycle counts, bus traffic — lands in metrics.Default unless a driver was
+// handed a private registry.
+func dumpMetrics() {
+	snap := metrics.Default.Snapshot()
+	switch *flagMetrics {
+	case "":
+	case "text":
+		fmt.Fprintln(os.Stderr, "-- metrics --")
+		if err := snap.WriteText(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics dump:", err)
+		}
+	case "json":
+		if err := snap.WriteJSON(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics dump:", err)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -metrics format %q (want 'text' or 'json')\n", *flagMetrics)
+		os.Exit(2)
+	}
+}
+
+// runBenchJSON runs the benchsuite and writes the report to path ('-' =
+// stdout).
+func runBenchJSON(path, benchtime string) {
+	rep := benchsuite.Run(benchsuite.Options{Benchtime: benchtime})
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-json:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench-json: %d cases written to %s\n", len(rep.Results), path)
 }
 
 func runOne(name, desc string, f func()) {
@@ -245,9 +310,19 @@ func dramExt() {
 		[]string{"workload", "baseline DDR channels needed", "QuEST channel utilization"}, rows))
 }
 
+// shardReg returns the registry Monte-Carlo drivers aggregate their
+// per-worker shards into: Default when -metrics is requested, nil (no
+// aggregation) otherwise.
+func shardReg() *metrics.Registry {
+	if *flagMetrics != "" {
+		return metrics.Default
+	}
+	return nil
+}
+
 func threshold() {
 	var rows [][]string
-	for _, r := range core.Threshold([]float64{2e-3, 1e-3, 5e-4}, []int{3, 5}, trialsOr(200), *flagWorkers) {
+	for _, r := range core.ThresholdIn(shardReg(), []float64{2e-3, 1e-3, 5e-4}, []int{3, 5}, trialsOr(200), *flagWorkers) {
 		rows = append(rows, []string{
 			fmt.Sprintf("%.0e", r.PhysRate), strconv.Itoa(r.Distance),
 			fmt.Sprintf("%.4f", r.FailRate),
@@ -260,7 +335,7 @@ func threshold() {
 func memory() {
 	var rows [][]string
 	for _, p := range []float64{0, 1e-4, 5e-4} {
-		r, err := core.MachineMemory(p, 8, trialsOr(40), *flagWorkers)
+		r, err := core.MachineMemoryIn(shardReg(), p, 8, trialsOr(40), *flagWorkers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "memory experiment failed:", err)
 			os.Exit(1)

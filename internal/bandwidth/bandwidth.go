@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+
+	"quest/internal/metrics"
 )
 
 // BytesPerSec is an instruction bandwidth.
@@ -57,16 +59,36 @@ func OrdersOfMagnitude(a, b float64) float64 {
 }
 
 // Counter is a thread-safe instruction/byte counter used by the machine
-// simulations to meter traffic on each bus.
+// simulations to meter traffic on each bus. Bridge mirrors its traffic into
+// the metrics registry so bus meters show up in the observability layer
+// without a second accounting path.
 type Counter struct {
 	instructions atomic.Uint64
 	bytes        atomic.Uint64
+
+	mirrorInstr atomic.Pointer[metrics.Counter]
+	mirrorBytes atomic.Pointer[metrics.Counter]
+}
+
+// Bridge mirrors every future Add into the two registry counters. The mirror
+// is cumulative across the Counter's lifetime: Reset zeroes the local meter
+// (per-run accounting) but never the registry totals, so the registry
+// aggregates traffic across every machine built in the process.
+func (c *Counter) Bridge(instr, bytes *metrics.Counter) {
+	c.mirrorInstr.Store(instr)
+	c.mirrorBytes.Store(bytes)
 }
 
 // Add records n instructions totalling b bytes.
 func (c *Counter) Add(n, b uint64) {
 	c.instructions.Add(n)
 	c.bytes.Add(b)
+	if m := c.mirrorInstr.Load(); m != nil {
+		m.Add(n)
+	}
+	if m := c.mirrorBytes.Load(); m != nil {
+		m.Add(b)
+	}
 }
 
 // Instructions returns the instruction count.

@@ -1,0 +1,51 @@
+package benchsuite
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunProducesWellFormedReport runs the whole suite at one iteration per
+// case — a smoke test that every case executes and the report round-trips
+// through its JSON encoding with the schema intact.
+func TestRunProducesWellFormedReport(t *testing.T) {
+	rep := Run(Options{Benchtime: "1x"})
+	if rep.Schema != Schema {
+		t.Errorf("schema = %q, want %q", rep.Schema, Schema)
+	}
+	if len(rep.Results) != 8 {
+		t.Errorf("got %d cases, want 8", len(rep.Results))
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Results {
+		if seen[r.Name] {
+			t.Errorf("duplicate case name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Iterations < 1 || r.NsPerOp <= 0 {
+			t.Errorf("case %q has implausible measurement %+v", r.Name, r)
+		}
+	}
+	// The decode cases record into the report's registry.
+	found := false
+	for _, h := range rep.Metrics.Histograms {
+		if h.Name == "decoder.match.ns" && h.Summary.Count > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("report metrics missing a populated decoder.match.ns histogram")
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadReport(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	if back.Schema != rep.Schema || len(back.Results) != len(rep.Results) {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back.Schema, rep.Schema)
+	}
+}

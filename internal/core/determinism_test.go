@@ -3,6 +3,8 @@ package core
 import (
 	"reflect"
 	"testing"
+
+	"quest/internal/metrics"
 )
 
 // TestThresholdWorkerCountInvariant is the engine's core guarantee: the
@@ -61,5 +63,63 @@ func TestThresholdCellsDecorrelated(t *testing.T) {
 	if a.FailRate+0.25 < b.FailRate {
 		t.Errorf("p=%.0e fails at %.3f but p=%.0e at %.3f — cells look mis-seeded",
 			a.PhysRate, a.FailRate, b.PhysRate, b.FailRate)
+	}
+}
+
+// TestMetricsObservationDoesNotPerturbResults pins the observability layer's
+// contract: instrumentation observes the computation but never feeds back
+// into it, so running the same sweep with no registry, with a registry, and
+// with a registry under a different worker count yields bit-identical rows.
+func TestMetricsObservationDoesNotPerturbResults(t *testing.T) {
+	rates := []float64{2e-3}
+	distances := []int{3}
+	off := ThresholdIn(nil, rates, distances, 60, 2)
+	reg := metrics.New()
+	on := ThresholdIn(reg, rates, distances, 60, 2)
+	if !reflect.DeepEqual(off, on) {
+		t.Errorf("threshold rows differ with metrics on:\n off: %+v\n on:  %+v", off, on)
+	}
+	reg2 := metrics.New()
+	onPar := ThresholdIn(reg2, rates, distances, 60, 8)
+	if !reflect.DeepEqual(off, onPar) {
+		t.Errorf("threshold rows differ with metrics on at workers=8:\n off: %+v\n on:  %+v", off, onPar)
+	}
+	// The registry must actually have observed the sweep.
+	if got := reg.Counter("mc.trials").Value(); got != 60 {
+		t.Errorf("mc.trials = %d, want 60", got)
+	}
+	if reg.Histogram("decoder.match.ns", nil).Count() == 0 {
+		t.Error("decoder.match.ns histogram empty — decode path not instrumented")
+	}
+	// Shard totals are scheduling-independent even though the shards
+	// themselves partition trials differently at each worker count.
+	if a, b := reg.Counter("mc.trials").Value(), reg2.Counter("mc.trials").Value(); a != b {
+		t.Errorf("merged trial counts differ across worker counts: %d vs %d", a, b)
+	}
+	if a, b := reg.Counter("decoder.match.calls").Value(), reg2.Counter("decoder.match.calls").Value(); a != b {
+		t.Errorf("merged decoder.match.calls differ across worker counts: %d vs %d", a, b)
+	}
+}
+
+// TestMachineMemoryMetricsInvariant: the same feedback-free contract through
+// the full machine path, where every trial machine records into a shard.
+func TestMachineMemoryMetricsInvariant(t *testing.T) {
+	off, err := MachineMemoryIn(nil, 5e-4, 4, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	on, err := MachineMemoryIn(reg, 5e-4, 4, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != on {
+		t.Errorf("memory rows differ with metrics on:\n off: %+v\n on:  %+v", off, on)
+	}
+	if reg.Counter("mce.cycles").Value() == 0 {
+		t.Error("mce.cycles = 0 — machine path not recording into shards")
+	}
+	if reg.Counter("master.dispatched").Value() == 0 {
+		t.Error("master.dispatched = 0 — master path not recording into shards")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"quest/internal/isa"
 	"quest/internal/jj"
 	"quest/internal/mc"
+	"quest/internal/metrics"
 	"quest/internal/microcode"
 	"quest/internal/noise"
 	"quest/internal/surface"
@@ -464,10 +465,18 @@ type ThresholdRow struct {
 // for any worker count because every trial is seeded from
 // (ExperimentSeed, p, d, trial) alone.
 func Threshold(rates []float64, distances []int, trials, workers int) []ThresholdRow {
+	return ThresholdIn(nil, rates, distances, trials, workers)
+}
+
+// ThresholdIn is Threshold with trial instrumentation aggregated into reg via
+// per-worker metrics shards (nil reg skips instrumentation entirely). Rows
+// are bit-identical with and without a registry: instruments only observe the
+// decode path, they never feed back into trial outcomes.
+func ThresholdIn(reg *metrics.Registry, rates []float64, distances []int, trials, workers int) []ThresholdRow {
 	var rows []ThresholdRow
 	for _, p := range rates {
 		for _, d := range distances {
-			res := logicalFailRate(d, p, trials, workers)
+			res := logicalFailRate(reg, d, p, trials, workers)
 			rows = append(rows, ThresholdRow{
 				PhysRate: p,
 				Distance: d,
@@ -486,11 +495,11 @@ func Threshold(rates []float64, distances []int, trials, workers int) []Threshol
 // model is noise.Uniform(p) — every location including preparation fails at
 // p, the paper's single-rate convention (an earlier version dropped the
 // Prep channel and under-reported failure rates; see CHANGES.md).
-func logicalFailRate(d int, p float64, trials, workers int) mc.Result {
+func logicalFailRate(reg *metrics.Registry, d int, p float64, trials, workers int) mc.Result {
 	lat := surface.NewPlanar(d)
 	words := surface.CompileCycle(lat, surface.Steane, nil)
 	cell := mc.Seed(ExperimentSeed, mc.F64(p), uint64(d))
-	return mc.Run(trials, workers, cell, func(trial int, seed uint64) mc.Outcome {
+	return mc.RunWith(trials, workers, cell, reg, func(trial int, seed uint64, shard *metrics.Registry) mc.Outcome {
 		tb := clifford.New(lat.NumQubits(), rand.New(rand.NewSource(int64(mc.Derive(seed, 0)))))
 		inj := noise.NewInjector(noise.Uniform(p), int64(mc.Derive(seed, 1)))
 		noisy := awg.New(tb, inj)
@@ -506,6 +515,9 @@ func logicalFailRate(d int, p float64, trials, workers int) mc.Result {
 		hist := decoder.NewHistory(lat)
 		frame := decoder.NewPauliFrame()
 		win := decoder.NewWindowDecoder(decoder.NewGlobalDecoder(lat), d)
+		if shard != nil {
+			win.SetInstr(decoder.NewInstr(shard))
+		}
 		run(clean)
 		hist.Absorb(run(clean))
 		for round := 0; round < 4; round++ {
@@ -543,12 +555,21 @@ func (r MemoryRow) FailRate() float64 { return float64(r.Failures) / float64(r.T
 // is bit-identical for any worker count and uncorrelated with the
 // Threshold sweep's fault patterns.
 func MachineMemory(physRate float64, rounds, trials, workers int) (MemoryRow, error) {
+	return MachineMemoryIn(nil, physRate, rounds, trials, workers)
+}
+
+// MachineMemoryIn is MachineMemory with every trial machine recording into a
+// per-worker metrics shard, all merged into reg after the pool drains (nil reg
+// skips instrumentation). The row is bit-identical with and without a
+// registry.
+func MachineMemoryIn(reg *metrics.Registry, physRate float64, rounds, trials, workers int) (MemoryRow, error) {
 	cell := mc.Seed(ExperimentSeed, mc.F64(physRate), uint64(rounds), 0x3e3)
-	res := mc.Run(trials, workers, cell, func(trial int, seed uint64) mc.Outcome {
+	res := mc.RunWith(trials, workers, cell, reg, func(trial int, seed uint64, shard *metrics.Registry) mc.Outcome {
 		cfg := DefaultMachineConfig()
 		cfg.PatchesPerTile = 1
 		cfg.Seed = int64(seed)
 		cfg.DecodeWindow = cfg.Distance
+		cfg.Metrics = shard
 		if physRate > 0 {
 			nm := noise.Uniform(physRate)
 			cfg.Noise = &nm

@@ -22,6 +22,7 @@ import (
 	"quest/internal/isa"
 	"quest/internal/master"
 	"quest/internal/mce"
+	"quest/internal/metrics"
 	"quest/internal/microcode"
 	"quest/internal/noise"
 	"quest/internal/qexe"
@@ -50,6 +51,10 @@ type MachineConfig struct {
 	DecodeWindow int
 	// UseUnionFind selects the union-find global matcher.
 	UseUnionFind bool
+	// Metrics selects the registry every component of this machine records
+	// into (nil = metrics.Default). Monte-Carlo trials pass per-worker
+	// shards so parallel machines never contend on shared instruments.
+	Metrics *metrics.Registry
 }
 
 // DefaultMachineConfig returns a small but fully functional machine: one
@@ -91,6 +96,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 			Seed:       cfg.Seed + int64(i),
 			CacheSlots: cfg.CacheSlots,
 			Timing:     cfg.Timing,
+			Metrics:    cfg.Metrics,
 		}))
 	}
 	return &Machine{
@@ -102,6 +108,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 			UseNoC:          cfg.UseNoC,
 			DecodeWindow:    cfg.DecodeWindow,
 			UseUnionFind:    cfg.UseUnionFind,
+			Metrics:         cfg.Metrics,
 		}, tiles),
 	}
 }

@@ -15,6 +15,8 @@ package decoder
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"time"
 
 	"quest/internal/surface"
 )
@@ -29,15 +31,25 @@ type Defect struct {
 
 // SyndromeHistory differencess consecutive syndrome rounds into defects. The
 // zero value is not usable; construct with NewHistory.
+//
+// The reference frame is a flat slice indexed by qubit (-1 = no reference)
+// rather than a map: rounds arrive every cycle, and the slice turns the
+// per-round map churn into index stores. A side benefit is that Absorb scans
+// qubits in index order, so the returned defect slice has a deterministic
+// order regardless of the iteration order of the caller's syndrome map.
 type SyndromeHistory struct {
 	lat   surface.Lattice
-	prev  map[int]int
+	prev  []int8 // -1 = unknown, else last observed bit
 	round int
 }
 
 // NewHistory returns an empty history for the lattice.
 func NewHistory(lat surface.Lattice) *SyndromeHistory {
-	return &SyndromeHistory{lat: lat, prev: make(map[int]int)}
+	h := &SyndromeHistory{lat: lat, prev: make([]int8, lat.NumQubits())}
+	for i := range h.prev {
+		h.prev[i] = -1
+	}
+	return h
 }
 
 // Round returns the number of rounds absorbed so far.
@@ -50,8 +62,12 @@ func (h *SyndromeHistory) Round() int { return h.round }
 // random; treating round 0 as reference is the standard convention).
 func (h *SyndromeHistory) Absorb(synd map[int]int) []Defect {
 	var defects []Defect
-	for q, bit := range synd {
-		if prev, ok := h.prev[q]; ok && prev != bit && h.round > 0 {
+	for q := range h.prev {
+		bit, ok := synd[q]
+		if !ok {
+			continue
+		}
+		if prev := h.prev[q]; prev >= 0 && int(prev) != bit && h.round > 0 {
 			r, c := h.lat.Coord(q)
 			defects = append(defects, Defect{
 				Round: h.round,
@@ -61,7 +77,7 @@ func (h *SyndromeHistory) Absorb(synd map[int]int) []Defect {
 				IsX:   h.lat.RoleOf(q) == surface.RoleAncillaX,
 			})
 		}
-		h.prev[q] = bit
+		h.prev[q] = int8(bit)
 	}
 	h.round++
 	return defects
@@ -69,7 +85,9 @@ func (h *SyndromeHistory) Absorb(synd map[int]int) []Defect {
 
 // Reset clears the history.
 func (h *SyndromeHistory) Reset() {
-	h.prev = make(map[int]int)
+	for i := range h.prev {
+		h.prev[i] = -1
+	}
 	h.round = 0
 }
 
@@ -79,7 +97,7 @@ func (h *SyndromeHistory) Reset() {
 // no longer describes the state.
 func (h *SyndromeHistory) Forget(qubits []int) {
 	for _, q := range qubits {
-		delete(h.prev, q)
+		h.prev[q] = -1
 	}
 }
 
@@ -90,32 +108,52 @@ type Correction struct {
 	FlipX bool
 }
 
+// bitset is a lazily grown bit vector keyed by qubit index.
+type bitset []uint64
+
+func (b *bitset) toggle(i int) {
+	w := i >> 6
+	for w >= len(*b) {
+		*b = append(*b, 0)
+	}
+	(*b)[w] ^= 1 << (uint(i) & 63)
+}
+
+func (b bitset) get(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+func (b bitset) unset(i int) {
+	w := i >> 6
+	if w < len(b) {
+		b[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
 // PauliFrame is the classical correction log. Corrections toggle: applying
 // the same correction twice cancels it.
+//
+// The frame is consulted and updated every decode round, so pending flips
+// live in bitsets rather than maps: Apply is one XOR instead of a map
+// insert/delete pair, and ParityOn is a bit probe per support qubit. The
+// BenchmarkFrameToggle benchmark quantifies the difference.
 type PauliFrame struct {
-	x map[int]bool
-	z map[int]bool
+	x bitset
+	z bitset
 }
 
 // NewPauliFrame returns an empty frame.
 func NewPauliFrame() *PauliFrame {
-	return &PauliFrame{x: make(map[int]bool), z: make(map[int]bool)}
+	return &PauliFrame{}
 }
 
 // Apply toggles a correction in the frame.
 func (f *PauliFrame) Apply(c Correction) {
 	if c.FlipX {
-		if f.x[c.Qubit] {
-			delete(f.x, c.Qubit)
-		} else {
-			f.x[c.Qubit] = true
-		}
+		f.x.toggle(c.Qubit)
 	} else {
-		if f.z[c.Qubit] {
-			delete(f.z, c.Qubit)
-		} else {
-			f.z[c.Qubit] = true
-		}
+		f.z.toggle(c.Qubit)
 	}
 }
 
@@ -123,27 +161,39 @@ func (f *PauliFrame) Apply(c Correction) {
 // re-prepared: the fresh state owes nothing to past corrections).
 func (f *PauliFrame) Clear(qubits []int) {
 	for _, q := range qubits {
-		delete(f.x, q)
-		delete(f.z, q)
+		f.x.unset(q)
+		f.z.unset(q)
 	}
 }
 
 // XFlips returns the set of qubits with pending X corrections.
-func (f *PauliFrame) XFlips() map[int]bool { return f.x }
+func (f *PauliFrame) XFlips() map[int]bool { return f.x.asMap() }
 
 // ZFlips returns the set of qubits with pending Z corrections.
-func (f *PauliFrame) ZFlips() map[int]bool { return f.z }
+func (f *PauliFrame) ZFlips() map[int]bool { return f.z.asMap() }
+
+// asMap materializes the set bits as the map the reporting API exposes.
+func (b bitset) asMap() map[int]bool {
+	m := make(map[int]bool)
+	for w, word := range b {
+		for word != 0 {
+			m[w*64+bits.TrailingZeros64(word)] = true
+			word &= word - 1
+		}
+	}
+	return m
+}
 
 // ParityOn returns the parity (0/1) of pending flips of the given kind over
 // the support set — used to adjust logical measurement outcomes.
 func (f *PauliFrame) ParityOn(support []int, flipX bool) int {
-	m := f.z
+	b := f.z
 	if flipX {
-		m = f.x
+		b = f.x
 	}
 	p := 0
 	for _, q := range support {
-		if m[q] {
+		if b.get(q) {
 			p ^= 1
 		}
 	}
@@ -216,11 +266,12 @@ func pairKey(a, b int) uint64 {
 // (escalated to the global decoder). Defects of different types (X vs Z) are
 // decoded independently.
 func (d *LocalDecoder) Decode(defects []Defect) (resolved []Correction, residual []Defect) {
-	byType := map[bool][]Defect{}
-	for _, df := range defects {
-		byType[df.IsX] = append(byType[df.IsX], df)
-	}
-	for isX, group := range byType {
+	xs, zs := SplitByType(defects)
+	for _, group := range [2][]Defect{xs, zs} {
+		if len(group) == 0 {
+			continue
+		}
+		isX := group[0].IsX
 		switch len(group) {
 		case 1:
 			a := group[0].Qubit
@@ -245,6 +296,20 @@ func (d *LocalDecoder) Decode(defects []Defect) (resolved []Correction, residual
 // LUTSize returns the number of entries across both lookup tables, the
 // quantity that sizes the MCE decode-pipeline memory.
 func (d *LocalDecoder) LUTSize() int { return len(d.lut) + len(d.boundaryLUT) }
+
+// SplitByType partitions defects into X-type and Z-type groups, preserving
+// input order within each group (the map grouping it replaced iterated in
+// random order, which made tie-broken matchings nondeterministic).
+func SplitByType(defects []Defect) (xs, zs []Defect) {
+	for _, d := range defects {
+		if d.IsX {
+			xs = append(xs, d)
+		} else {
+			zs = append(zs, d)
+		}
+	}
+	return xs, zs
+}
 
 // spaceTimeDistance is the matching weight between two defects: Manhattan
 // lattice distance (halved, since ancillas of one type sit two sites apart)
@@ -298,6 +363,12 @@ type Matching struct {
 // GlobalDecoder is the master-controller decoder: minimum-weight matching on
 // the space-time defect graph. Exact (dynamic programming over subsets) for
 // up to MaxExact defects per type, greedy-with-boundary beyond that.
+//
+// A GlobalDecoder reuses its DP and marker scratch buffers across Match
+// calls (the per-call allocations dominated the exact matcher's profile), so
+// a single instance must not run Match concurrently from multiple
+// goroutines. Every use site — one decoder per master tile, one per
+// Monte-Carlo trial — already owns its instance exclusively.
 type GlobalDecoder struct {
 	lat surface.Lattice
 	// MaxExact bounds the exact matcher; beyond it the greedy matcher runs.
@@ -307,11 +378,26 @@ type GlobalDecoder struct {
 	// data errors, time-like edges should cost more — SetWeights derives
 	// the ratio from the noise model.
 	TimeWeight, SpaceWeight int
+
+	instr *Instr
+
+	// Scratch buffers reused across calls (see type comment).
+	dpBuf, choiceBuf []int32
+	usedBuf          []bool
 }
 
 // NewGlobalDecoder returns a decoder for the lattice with unit weights.
 func NewGlobalDecoder(lat surface.Lattice) *GlobalDecoder {
-	return &GlobalDecoder{lat: lat, MaxExact: 14, TimeWeight: 1, SpaceWeight: 1}
+	return &GlobalDecoder{lat: lat, MaxExact: 14, TimeWeight: 1, SpaceWeight: 1, instr: defaultInstr}
+}
+
+// SetInstr rebinds the decoder's instruments (e.g. to a per-worker metrics
+// shard). A nil value restores the default registry.
+func (g *GlobalDecoder) SetInstr(in *Instr) {
+	if in == nil {
+		in = defaultInstr
+	}
+	g.instr = in
 }
 
 // SetWeights derives integer edge weights from the two error processes: an
@@ -371,14 +457,25 @@ func (g *GlobalDecoder) Match(defects []Defect) Matching {
 			panic("decoder: Match requires same-type defects")
 		}
 	}
+	start := time.Now()
+	var m Matching
 	if len(defects) <= g.MaxExact {
-		return g.exactMatch(defects)
+		m = g.exactMatch(defects)
+		g.instr.matchExact.Inc()
+	} else {
+		m = g.greedyMatch(defects)
+		g.instr.matchGreedy.Inc()
 	}
-	return g.greedyMatch(defects)
+	g.instr.matchCalls.Inc()
+	g.instr.matchDefects.Add(uint64(len(defects)))
+	g.instr.matchNs.Observe(float64(time.Since(start)))
+	return m
 }
 
 // exactMatch solves MWPM-with-boundary exactly by DP over defect subsets:
-// O(2^n · n) time, fine for n ≤ ~16.
+// O(2^n · n) time, fine for n ≤ ~16. The DP tables live in per-decoder
+// scratch buffers: at n=10 the two per-call allocations were 8KB of the
+// matcher's footprint, and windowed decoding calls Match every d rounds.
 func (g *GlobalDecoder) exactMatch(defects []Defect) Matching {
 	n := len(defects)
 	if n == 0 {
@@ -386,8 +483,13 @@ func (g *GlobalDecoder) exactMatch(defects []Defect) Matching {
 	}
 	const inf = math.MaxInt32
 	full := 1 << n
-	dp := make([]int32, full)
-	choice := make([]int32, full) // encodes the decision taken at each state
+	if cap(g.dpBuf) < full {
+		g.dpBuf = make([]int32, full)
+		g.choiceBuf = make([]int32, full)
+	}
+	dp := g.dpBuf[:full]
+	choice := g.choiceBuf[:full] // encodes the decision taken at each state
+	dp[0] = 0
 	for s := 1; s < full; s++ {
 		dp[s] = inf
 	}
@@ -441,7 +543,13 @@ func (g *GlobalDecoder) exactMatch(defects []Defect) Matching {
 // adequate above the exact matcher's range.
 func (g *GlobalDecoder) greedyMatch(defects []Defect) Matching {
 	n := len(defects)
-	used := make([]bool, n)
+	if cap(g.usedBuf) < n {
+		g.usedBuf = make([]bool, n)
+	}
+	used := g.usedBuf[:n]
+	for i := range used {
+		used[i] = false
+	}
 	var m Matching
 	for {
 		bestW := math.MaxInt32
@@ -546,14 +654,16 @@ func DecodeRound(local *LocalDecoder, global *GlobalDecoder, frame *PauliFrame, 
 		}
 		localResolved = len(corr)
 	}
+	global.instr.localResolved.Add(uint64(localResolved))
+	global.instr.localEscalated.Add(uint64(len(residual)))
 	if len(residual) == 0 {
 		return localResolved, 0
 	}
-	byType := map[bool][]Defect{}
-	for _, d := range residual {
-		byType[d.IsX] = append(byType[d.IsX], d)
-	}
-	for _, group := range byType {
+	xs, zs := SplitByType(residual)
+	for _, group := range [2][]Defect{xs, zs} {
+		if len(group) == 0 {
+			continue
+		}
 		m := global.Match(group)
 		for _, c := range global.Corrections(group, m) {
 			frame.Apply(c)

@@ -357,6 +357,15 @@ func BenchmarkExactMatch10(b *testing.B) {
 	}
 }
 
+func BenchmarkFrameToggle(b *testing.B) {
+	frame := NewPauliFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := i & 1023
+		frame.Apply(Correction{Qubit: q, FlipX: i&1 == 0})
+	}
+}
+
 func TestWeightedMatchingPrefersMeasurementErrorExplanation(t *testing.T) {
 	lat := surface.NewPlanar(5)
 	g := NewGlobalDecoder(lat)

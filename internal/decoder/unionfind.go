@@ -2,6 +2,7 @@ package decoder
 
 import (
 	"sort"
+	"time"
 
 	"quest/internal/surface"
 )
@@ -85,6 +86,13 @@ func (d *UnionFindDecoder) Match(defects []Defect) Matching {
 			panic("decoder: union-find Match requires same-type defects")
 		}
 	}
+	start := time.Now()
+	defer func() {
+		defaultInstr.matchUF.Inc()
+		defaultInstr.matchCalls.Inc()
+		defaultInstr.matchDefects.Add(uint64(n))
+		defaultInstr.matchNs.Observe(float64(time.Since(start)))
+	}()
 	uf := newUnionFind(n)
 	active := func(root int) bool {
 		return uf.nodes[root].parity == 1 && !uf.nodes[root].boundary

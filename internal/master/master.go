@@ -12,12 +12,14 @@ package master
 
 import (
 	"fmt"
+	"time"
 
 	"quest/internal/bandwidth"
 	"quest/internal/decoder"
 	"quest/internal/distill"
 	"quest/internal/isa"
 	"quest/internal/mce"
+	"quest/internal/metrics"
 	"quest/internal/noc"
 )
 
@@ -50,6 +52,32 @@ type Config struct {
 	// per-tile queues. Latency becomes load-dependent — harmless for
 	// logical traffic, which is the §3.4 point.
 	UseNoC bool
+	// Metrics selects the registry the controller's instruments and bus
+	// meters record into (nil = metrics.Default).
+	Metrics *metrics.Registry
+}
+
+// masterInstr bundles the controller's instruments.
+type masterInstr struct {
+	dispatched    *metrics.Counter
+	syncsSent     *metrics.Counter
+	cacheBodies   *metrics.Counter
+	cycles        *metrics.Counter
+	escalated     *metrics.Counter
+	globalDecodes *metrics.Counter
+	decodeNs      *metrics.Histogram
+}
+
+func newMasterInstr(r *metrics.Registry) *masterInstr {
+	return &masterInstr{
+		dispatched:    r.Counter("master.dispatched"),
+		syncsSent:     r.Counter("master.syncs"),
+		cacheBodies:   r.Counter("master.cache.bodies"),
+		cycles:        r.Counter("master.cycles"),
+		escalated:     r.Counter("master.escalated"),
+		globalDecodes: r.Counter("master.global.decodes"),
+		decodeNs:      r.Histogram("master.decode.ns", nil),
+	}
 }
 
 // Master is the controller instance.
@@ -73,6 +101,8 @@ type Master struct {
 	Cache    bandwidth.Counter
 	Syndrome bandwidth.Counter
 
+	in *masterInstr
+
 	cycle          int
 	escalatedTotal uint64
 	globalCorr     uint64
@@ -86,11 +116,22 @@ func New(cfg Config, tiles []*mce.MCE) *Master {
 	if cfg.PacketsPerCycle <= 0 {
 		cfg.PacketsPerCycle = 16
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
 	m := &Master{
 		cfg:    cfg,
 		tiles:  tiles,
 		queues: make([][]packet, len(tiles)),
+		in:     newMasterInstr(reg),
 	}
+	// Mirror the per-class bus meters into the registry so -metrics reports
+	// bus traffic alongside latencies without a second accounting path.
+	m.Logical.Bridge(reg.Counter("master.bus.logical.instr"), reg.Counter("master.bus.logical.bytes"))
+	m.Sync.Bridge(reg.Counter("master.bus.sync.instr"), reg.Counter("master.bus.sync.bytes"))
+	m.Cache.Bridge(reg.Counter("master.bus.cache.instr"), reg.Counter("master.bus.cache.bytes"))
+	m.Syndrome.Bridge(reg.Counter("master.bus.syndrome.records"), reg.Counter("master.bus.syndrome.bytes"))
 	for _, t := range tiles {
 		var g decoder.Matcher
 		if cfg.UseUnionFind {
@@ -137,6 +178,7 @@ func (m *Master) Dispatch(tile int, in isa.LogicalInstr) error {
 		m.queues[tile] = append(m.queues[tile], packet{tile: tile, instr: in})
 	}
 	m.Logical.Add(1, isa.LogicalInstrBytes)
+	m.in.dispatched.Inc()
 	return nil
 }
 
@@ -155,6 +197,7 @@ func (m *Master) SendSync(tile int, id uint16) error {
 		m.queues[tile] = append(m.queues[tile], packet{tile: tile, instr: in})
 	}
 	m.Sync.Add(1, isa.LogicalInstrBytes)
+	m.in.syncsSent.Inc()
 	return nil
 }
 
@@ -168,6 +211,7 @@ func (m *Master) LoadCache(tile, slot int, body []isa.LogicalInstr) error {
 		return err
 	}
 	m.Cache.Add(uint64(len(body)), uint64(len(body)*isa.LogicalInstrBytes))
+	m.in.cacheBodies.Inc()
 	return nil
 }
 
@@ -308,6 +352,7 @@ func (m *Master) StepCycle() CycleReport {
 		if len(r.DefectsEscalated) > 0 {
 			rep.Escalated += len(r.DefectsEscalated)
 			m.escalatedTotal += uint64(len(r.DefectsEscalated))
+			m.in.escalated.Add(uint64(len(r.DefectsEscalated)))
 			// Syndrome data returns over the global bus: one byte per
 			// escalated defect record (position+round packed).
 			m.Syndrome.Add(uint64(len(r.DefectsEscalated)), uint64(len(r.DefectsEscalated)))
@@ -316,25 +361,30 @@ func (m *Master) StepCycle() CycleReport {
 			if applied := w.Absorb(r.DefectsEscalated, t.Frame()); applied > 0 {
 				rep.GlobalMatches += applied
 				m.globalCorr++
+				m.in.globalDecodes.Inc()
 			}
 			continue
 		}
 		if len(r.DefectsEscalated) > 0 {
-			byType := map[bool][]decoder.Defect{}
-			for _, d := range r.DefectsEscalated {
-				byType[d.IsX] = append(byType[d.IsX], d)
-			}
-			for _, group := range byType {
+			decodeStart := time.Now()
+			xs, zs := decoder.SplitByType(r.DefectsEscalated)
+			for _, group := range [2][]decoder.Defect{xs, zs} {
+				if len(group) == 0 {
+					continue
+				}
 				match := m.global[i].Match(group)
 				rep.GlobalMatches += len(match.Pairs) + len(match.ToBoundary)
 				for _, c := range m.global[i].Corrections(group, match) {
 					t.Frame().Apply(c)
 				}
 				m.globalCorr++
+				m.in.globalDecodes.Inc()
 			}
+			m.in.decodeNs.Observe(float64(time.Since(decodeStart)))
 		}
 	}
 	m.cycle++
+	m.in.cycles.Inc()
 	return rep
 }
 

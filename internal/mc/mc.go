@@ -25,6 +25,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"quest/internal/metrics"
 )
 
 // Outcome is the result of a single trial.
@@ -122,6 +125,26 @@ func Wilson(failures, trials int, z float64) (lo, hi float64) {
 // trials are monotonic, and addition commutes), but the error, if any, is
 // selected by trial order, not completion order.
 func Run(trials, workers int, cellSeed uint64, fn func(trial int, seed uint64) Outcome) Result {
+	return RunWith(trials, workers, cellSeed, nil,
+		func(trial int, seed uint64, _ *metrics.Registry) Outcome {
+			return fn(trial, seed)
+		})
+}
+
+// RunWith is Run with per-worker metrics shards. Each worker goroutine owns a
+// private Registry so trial instrumentation (decoder latencies, machine
+// counters) is recorded without any cross-worker contention; when the pool
+// drains, every shard is merged into reg in worker order. Because fixed-bucket
+// histograms and counters merge by addition, the merged totals are independent
+// of how trials were distributed across workers — only wall-clock gauges
+// ("mc.trials_per_sec", "mc.worker_utilization") reflect this particular run.
+//
+// reg == nil disables aggregation: fn receives a nil shard and must not record
+// (core's drivers skip SetInstr wiring in that case, keeping the metrics-off
+// path allocation-free). Determinism of the simulation Result is unchanged —
+// instruments observe the computation, they never feed back into it.
+func RunWith(trials, workers int, cellSeed uint64, reg *metrics.Registry,
+	fn func(trial int, seed uint64, shard *metrics.Registry) Outcome) Result {
 	if trials <= 0 {
 		return Result{}
 	}
@@ -135,24 +158,63 @@ func Run(trials, workers int, cellSeed uint64, fn func(trial int, seed uint64) O
 	var next atomic.Int64
 	var failures atomic.Int64 // streaming counter; final value == trial-order count
 	var wg sync.WaitGroup
+	shards := make([]*metrics.Registry, workers)
+	busyNs := make([]int64, workers) // per-worker time spent inside fn
+	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		if reg != nil {
+			shards[w] = metrics.New()
+		}
+		go func(w int) {
 			defer wg.Done()
+			shard := shards[w]
+			var trialNs *metrics.Histogram
+			var nTrials, nFails *metrics.Counter
+			if shard != nil {
+				trialNs = shard.Histogram("mc.trial.ns", metrics.LatencyBounds())
+				nTrials = shard.Counter("mc.trials")
+				nFails = shard.Counter("mc.failures")
+			}
 			for {
 				t := int(next.Add(1)) - 1
 				if t >= trials {
 					return
 				}
-				out := fn(t, TrialSeed(cellSeed, t))
+				t0 := time.Now()
+				out := fn(t, TrialSeed(cellSeed, t), shard)
+				busyNs[w] += int64(time.Since(t0))
+				if shard != nil {
+					trialNs.Observe(float64(time.Since(t0)))
+					nTrials.Inc()
+					if out.Fail {
+						nFails.Inc()
+					}
+				}
 				outcomes[t] = out
 				if out.Fail {
 					failures.Add(1)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	elapsed := time.Since(start)
+	if reg != nil {
+		for _, shard := range shards {
+			reg.Merge(shard)
+		}
+		if elapsed > 0 {
+			reg.Gauge("mc.trials_per_sec").Set(float64(trials) / elapsed.Seconds())
+			var busy int64
+			for _, b := range busyNs {
+				busy += b
+			}
+			reg.Gauge("mc.worker_utilization").Set(
+				float64(busy) / (float64(elapsed) * float64(workers)))
+		}
+		reg.Gauge("mc.workers").Set(float64(workers))
+	}
 	res := Result{Trials: trials, Failures: int(failures.Load())}
 	for _, out := range outcomes { // trial order: first error wins
 		if out.Err != nil {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"quest/internal/bandwidth"
+	"quest/internal/metrics"
 )
 
 // trialRate is a deterministic pseudo-experiment: fail iff the trial's own
@@ -138,5 +139,83 @@ func TestWilsonAttachedToResult(t *testing.T) {
 	}
 	if !(res.WilsonLo <= res.Rate && res.Rate <= res.WilsonHi) {
 		t.Errorf("rate %v outside its own CI [%v, %v]", res.Rate, res.WilsonLo, res.WilsonHi)
+	}
+}
+
+// TestRunWithShardMergeInvariant pins the per-worker shard contract: the
+// merged counters and histograms must reflect every trial exactly once, and
+// both the simulation Result and the merged totals must be identical for any
+// worker count (shards partition the trials; counters and fixed-bucket
+// histograms merge by addition, which commutes).
+func TestRunWithShardMergeInvariant(t *testing.T) {
+	run := func(workers int) (Result, uint64, uint64, uint64) {
+		reg := metrics.New()
+		res := RunWith(300, workers, Seed(11), reg,
+			func(trial int, seed uint64, shard *metrics.Registry) Outcome {
+				if shard == nil {
+					t.Fatal("nil shard despite non-nil registry")
+				}
+				shard.Counter("test.work").Add(uint64(trial))
+				return Outcome{Fail: trial%3 == 0}
+			})
+		return res,
+			reg.Counter("mc.trials").Value(),
+			reg.Counter("mc.failures").Value(),
+			reg.Counter("test.work").Value()
+	}
+	baseRes, baseTrials, baseFails, baseWork := run(1)
+	if baseTrials != 300 {
+		t.Errorf("merged mc.trials = %d, want 300", baseTrials)
+	}
+	if baseFails != 100 {
+		t.Errorf("merged mc.failures = %d, want 100", baseFails)
+	}
+	if want := uint64(300 * 299 / 2); baseWork != want {
+		t.Errorf("merged test.work = %d, want %d", baseWork, want)
+	}
+	for _, workers := range []int{2, 3, 7, 16} {
+		res, trials, fails, work := run(workers)
+		if res != baseRes {
+			t.Errorf("workers=%d: Result %+v != single-worker %+v", workers, res, baseRes)
+		}
+		if trials != baseTrials || fails != baseFails || work != baseWork {
+			t.Errorf("workers=%d: merged totals (%d,%d,%d) != (%d,%d,%d)",
+				workers, trials, fails, work, baseTrials, baseFails, baseWork)
+		}
+	}
+}
+
+// TestRunWithHistogramMerge checks that per-worker trial histograms merge
+// into one histogram counting every trial.
+func TestRunWithHistogramMerge(t *testing.T) {
+	reg := metrics.New()
+	RunWith(64, 4, Seed(13), reg, func(trial int, seed uint64, shard *metrics.Registry) Outcome {
+		return Outcome{}
+	})
+	h := reg.Histogram("mc.trial.ns", metrics.LatencyBounds())
+	if got := h.Count(); got != 64 {
+		t.Errorf("merged mc.trial.ns count = %d, want 64", got)
+	}
+	if reg.Gauge("mc.workers").Value() != 4 {
+		t.Errorf("mc.workers gauge = %v, want 4", reg.Gauge("mc.workers").Value())
+	}
+	u := reg.Gauge("mc.worker_utilization").Value()
+	if u < 0 || u > 1 {
+		t.Errorf("worker utilization %v outside [0,1]", u)
+	}
+}
+
+// TestRunWithNilRegistry pins that a nil target registry disables sharding:
+// fn sees a nil shard and the Result still matches the instrumented run.
+func TestRunWithNilRegistry(t *testing.T) {
+	res := RunWith(50, 4, Seed(11), nil,
+		func(trial int, seed uint64, shard *metrics.Registry) Outcome {
+			if shard != nil {
+				t.Error("expected nil shard with nil registry")
+			}
+			return Outcome{Fail: trial%3 == 0}
+		})
+	if res.Failures != 17 {
+		t.Errorf("failures = %d, want 17", res.Failures)
 	}
 }

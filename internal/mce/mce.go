@@ -18,16 +18,50 @@ package mce
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"quest/internal/awg"
 	"quest/internal/clifford"
 	"quest/internal/compiler"
 	"quest/internal/decoder"
 	"quest/internal/isa"
+	"quest/internal/metrics"
 	"quest/internal/microcode"
 	"quest/internal/noise"
 	"quest/internal/surface"
 )
+
+// instr bundles the MCE's instruments, resolved once per engine so StepCycle
+// never touches the registry lock.
+type instr struct {
+	cycles           *metrics.Counter
+	microOps         *metrics.Counter
+	logicalRetired   *metrics.Counter
+	logicalEnqueued  *metrics.Counter
+	defectsLocal     *metrics.Counter
+	defectsEscalated *metrics.Counter
+	cacheHits        *metrics.Counter
+	cacheLoads       *metrics.Counter
+	stalledT         *metrics.Counter
+	cycleNs          *metrics.Histogram
+	bufferOccupancy  *metrics.Gauge
+}
+
+func newInstr(r *metrics.Registry) *instr {
+	return &instr{
+		cycles:           r.Counter("mce.cycles"),
+		microOps:         r.Counter("mce.microops"),
+		logicalRetired:   r.Counter("mce.logical.retired"),
+		logicalEnqueued:  r.Counter("mce.logical.enqueued"),
+		defectsLocal:     r.Counter("mce.defects.local"),
+		defectsEscalated: r.Counter("mce.defects.escalated"),
+		cacheHits:        r.Counter("mce.cache.hits"),
+		cacheLoads:       r.Counter("mce.cache.loads"),
+		stalledT:         r.Counter("mce.stalled.t"),
+		cycleNs:          r.Histogram("mce.cycle.ns", nil),
+		bufferOccupancy:  r.Gauge("mce.buffer.occupancy"),
+	}
+}
 
 // Config assembles an MCE.
 type Config struct {
@@ -49,6 +83,10 @@ type Config struct {
 	// buffer rejects Enqueue; the master's flow control must respect
 	// FreeBufferSlots. QECC replay is never affected — that is the point.
 	BufferCapacity int
+	// Metrics selects the registry the engine's instruments record into
+	// (nil = metrics.Default). Monte-Carlo workers pass per-worker shards so
+	// parallel trials never contend on shared counters.
+	Metrics *metrics.Registry
 }
 
 // CycleReport summarizes one StepCycle.
@@ -103,6 +141,8 @@ type MCE struct {
 
 	magicStates int
 
+	in *instr
+
 	cycle          int
 	microOps       uint64
 	logicalRetired uint64
@@ -128,6 +168,10 @@ func New(cfg Config) *MCE {
 	if cfg.CacheSlots < 0 {
 		panic(fmt.Sprintf("mce: negative cache slots %d", cfg.CacheSlots))
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
 	lat := cfg.Layout.Lat
 	m := &MCE{
 		cfg:   cfg,
@@ -142,6 +186,8 @@ func New(cfg Config) *MCE {
 
 		cache:     make(map[int][]isa.LogicalInstr),
 		busyPatch: make(map[int]bool),
+
+		in: newInstr(reg),
 
 		pendingSynd: make(map[int]int),
 		pendingData: make(map[int]int),
@@ -218,6 +264,7 @@ func (m *MCE) Enqueue(in isa.LogicalInstr) error {
 			m.replayQ = append(m.replayQ, body...)
 		}
 		m.cacheHits += uint64(reps)
+		m.in.cacheHits.Add(uint64(reps))
 		return nil
 	case isa.LCacheLoad:
 		return fmt.Errorf("mce: LCacheLoad must arrive via LoadCacheSlot with its body")
@@ -236,6 +283,8 @@ func (m *MCE) Enqueue(in isa.LogicalInstr) error {
 		return fmt.Errorf("mce: instruction buffer full (%d)", m.cfg.BufferCapacity)
 	}
 	m.buffer = append(m.buffer, in)
+	m.in.logicalEnqueued.Inc()
+	m.in.bufferOccupancy.Set(float64(len(m.buffer)))
 	return nil
 }
 
@@ -266,6 +315,7 @@ func (m *MCE) LoadCacheSlot(slot int, body []isa.LogicalInstr) error {
 	}
 	m.cache[slot] = append([]isa.LogicalInstr(nil), body...)
 	m.cacheLoads++
+	m.in.cacheLoads.Inc()
 	return nil
 }
 
@@ -294,12 +344,16 @@ const issueWidth = 4
 
 // StepCycle advances the machine by one QECC cycle and returns the report.
 func (m *MCE) StepCycle() CycleReport {
+	start := time.Now()
 	rep := CycleReport{Cycle: m.cycle}
 	if m.inj != nil {
 		m.inj.SetLocation(m.cycle, 0)
 	}
-	m.pendingSynd = make(map[int]int)
-	m.pendingData = make(map[int]int)
+	// Reuse the per-cycle measurement maps: clearing keeps the buckets a
+	// steady-state cycle already paid for instead of re-growing two maps
+	// every cycle.
+	clear(m.pendingSynd)
+	clear(m.pendingData)
 
 	// 1. Advance in-flight braids by one mask step each.
 	m.stepBraids(&rep)
@@ -338,6 +392,13 @@ func (m *MCE) StepCycle() CycleReport {
 	rep.DefectsEscalated = residual
 
 	m.cycle++
+	m.in.cycles.Inc()
+	m.in.microOps.Add(uint64(rep.MicroOpsIssued))
+	m.in.logicalRetired.Add(uint64(rep.LogicalRetired))
+	m.in.defectsLocal.Add(uint64(rep.DefectsLocal))
+	m.in.defectsEscalated.Add(uint64(len(residual)))
+	m.in.bufferOccupancy.Set(float64(len(m.buffer)))
+	m.in.cycleNs.Observe(float64(time.Since(start)))
 	return rep
 }
 
@@ -452,6 +513,7 @@ func (m *MCE) tryIssue(in isa.LogicalInstr, rep *CycleReport) (bool, []isa.Micro
 	case in.Op == isa.LT:
 		if m.magicStates == 0 {
 			m.stalledT++
+			m.in.stalledT.Inc()
 			return false, nil
 		}
 		m.magicStates--

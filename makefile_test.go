@@ -1,0 +1,55 @@
+// Guard for the Makefile `clean` recipe. An earlier version ran
+// `rm -rf internal/qasm/testdata internal/qexe/testdata`, which removes the
+// whole trees — including any committed fuzz seed corpora — instead of just
+// the untracked inputs `go test -fuzz` drops there. The fixed recipe uses
+// `git clean` scoped to those directories, which by construction only deletes
+// untracked files. This test fails if anyone reintroduces the rm form.
+package quest_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestCleanTargetPreservesTrackedTestdata(t *testing.T) {
+	data, err := os.ReadFile("Makefile")
+	if err != nil {
+		t.Fatalf("reading Makefile: %v", err)
+	}
+	lines := strings.Split(string(data), "\n")
+	var recipe []string
+	inClean := false
+	for _, line := range lines {
+		if strings.HasPrefix(line, "clean:") {
+			inClean = true
+			continue
+		}
+		if inClean {
+			if !strings.HasPrefix(line, "\t") {
+				break
+			}
+			recipe = append(recipe, strings.TrimSpace(line))
+		}
+	}
+	if len(recipe) == 0 {
+		t.Fatal("Makefile has no clean target")
+	}
+	usesGitClean := false
+	for _, cmd := range recipe {
+		if strings.Contains(cmd, "rm -rf") && strings.Contains(cmd, "testdata") {
+			t.Errorf("clean recipe deletes whole testdata trees (would remove tracked seeds): %q", cmd)
+		}
+		if strings.Contains(cmd, "git clean") && strings.Contains(cmd, "testdata") {
+			usesGitClean = true
+			for _, dir := range []string{"internal/qasm/testdata", "internal/qexe/testdata"} {
+				if !strings.Contains(cmd, dir) {
+					t.Errorf("clean recipe %q does not scope git clean to %s", cmd, dir)
+				}
+			}
+		}
+	}
+	if !usesGitClean {
+		t.Error("clean recipe does not use untracked-only removal (git clean) for the fuzz corpora")
+	}
+}

@@ -1,0 +1,95 @@
+// Command benchdiff compares two benchsuite JSON reports (see
+// internal/benchsuite) and fails when a benchmark regressed beyond the
+// allowed ratio. CI runs it with the committed baseline (BENCH_PR2.json)
+// against a fresh report from `questbench -bench-json`, turning decoder and
+// machine-loop slowdowns into failing checks.
+//
+// Usage:
+//
+//	benchdiff [-max-regress 0.30] baseline.json current.json
+//
+// A case is a regression when current ns/op exceeds baseline ns/op by more
+// than -max-regress (0.30 = +30%). Cases present in only one report are
+// listed but never fail the run, so adding or retiring benchmarks does not
+// require touching the baseline in the same commit. Reports with different
+// schema identifiers refuse to compare.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"quest/internal/benchsuite"
+)
+
+var maxRegress = flag.Float64("max-regress", 0.30,
+	"fail when ns/op grows by more than this fraction over baseline")
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress 0.30] baseline.json current.json")
+		os.Exit(2)
+	}
+	base := readReport(flag.Arg(0))
+	cur := readReport(flag.Arg(1))
+	if base.Schema != cur.Schema {
+		fmt.Fprintf(os.Stderr, "benchdiff: schema mismatch: baseline %q vs current %q\n",
+			base.Schema, cur.Schema)
+		os.Exit(2)
+	}
+
+	baseBy := map[string]benchsuite.Result{}
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	regressions := 0
+	for _, c := range cur.Results {
+		b, ok := baseBy[c.Name]
+		if !ok {
+			fmt.Printf("NEW      %-28s %12.0f ns/op (no baseline)\n", c.Name, c.NsPerOp)
+			continue
+		}
+		delete(baseBy, c.Name)
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = c.NsPerOp/b.NsPerOp - 1
+		}
+		status := "ok"
+		if ratio > *maxRegress {
+			status = "REGRESS"
+			regressions++
+		}
+		fmt.Printf("%-8s %-28s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+			status, c.Name, b.NsPerOp, c.NsPerOp, 100*ratio)
+	}
+	gone := make([]string, 0, len(baseBy))
+	for name := range baseBy {
+		gone = append(gone, name)
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Printf("GONE     %-28s (in baseline only)\n", name)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d case(s) regressed beyond +%.0f%%\n",
+			regressions, 100**maxRegress)
+		os.Exit(1)
+	}
+}
+
+func readReport(path string) benchsuite.Report {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	r, err := benchsuite.ReadReport(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: parsing %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return r
+}
