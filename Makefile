@@ -4,11 +4,12 @@
 #   make bench-json   regenerate BENCH_PR2.json, the committed benchmark
 #                     baseline tools/benchdiff compares CI runs against
 #   make benchdiff    compare a fresh suite run against the committed baseline
+#   make trace-smoke  run a tiny traced sim and validate the Perfetto JSON
 #   make lint         gofmt + vet (CI additionally runs staticcheck)
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json benchdiff lint vet fmt experiments examples fuzz clean
+.PHONY: all build test test-short race bench bench-json benchdiff trace-smoke lint vet fmt experiments examples fuzz clean
 
 all: build vet test race
 
@@ -47,6 +48,12 @@ bench-json:
 benchdiff:
 	$(GO) run ./cmd/questbench -bench-json /tmp/quest_bench_current.json
 	$(GO) run ./tools/benchdiff BENCH_PR2.json /tmp/quest_bench_current.json
+
+# Run a tiny traced simulation and validate the emitted Perfetto JSON —
+# the same check CI's trace-smoke job runs.
+trace-smoke:
+	$(GO) run ./cmd/questsim -program distill -replays 5 -trace /tmp/quest_trace_smoke.json
+	$(GO) run ./tools/tracecheck -min-procs 4 /tmp/quest_trace_smoke.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

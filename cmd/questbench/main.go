@@ -13,8 +13,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -23,6 +21,7 @@ import (
 	"quest/internal/chart"
 	"quest/internal/core"
 	"quest/internal/metrics"
+	"quest/internal/obsflags"
 	"quest/internal/workload"
 )
 
@@ -30,10 +29,11 @@ var (
 	flagMD      = flag.Bool("md", false, "emit the full evaluation as a Markdown report")
 	flagTrials  = flag.Int("trials", 0, "Monte-Carlo trials per statistical cell (0 = per-experiment default)")
 	flagWorkers = flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
-	flagMetrics = flag.String("metrics", "", "dump the metrics registry at exit: 'text' or 'json'")
-	flagPprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while experiments run")
 	flagBench   = flag.String("bench-json", "", "run the performance benchmark suite and write the JSON report to this path ('-' for stdout), then exit")
 	flagBenchT  = flag.String("benchtime", "", "per-case benchtime for -bench-json ('1s', '100x'; default 1s)")
+	// obs wires the shared -metrics/-pprof/-trace/-trace-buf observability
+	// flags identically to cmd/questsim.
+	obs = obsflags.Register(flag.CommandLine)
 )
 
 // trialsOr returns the -trials override, or the path's default.
@@ -70,19 +70,15 @@ var experiments = []struct {
 func main() {
 	flag.Parse()
 	args := flag.Args()
-	if *flagPprof != "" {
-		go func() {
-			if err := http.ListenAndServe(*flagPprof, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "pprof server:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", *flagPprof)
+	if err := obs.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	if *flagBench != "" {
 		runBenchJSON(*flagBench, *flagBenchT)
 		return
 	}
-	defer dumpMetrics()
+	defer obs.Finish()
 	if *flagMD {
 		// Full evaluation as a self-contained Markdown report.
 		fmt.Print(core.MarkdownReport(trialsOr(150), *flagWorkers))
@@ -108,29 +104,6 @@ func main() {
 			os.Exit(2)
 		}
 		runOne(experiments[i].name, experiments[i].desc, experiments[i].run)
-	}
-}
-
-// dumpMetrics writes the default registry to stderr at exit when -metrics is
-// set. Everything the experiments instrumented — decoder latencies, MCE
-// cycle counts, bus traffic — lands in metrics.Default unless a driver was
-// handed a private registry.
-func dumpMetrics() {
-	snap := metrics.Default.Snapshot()
-	switch *flagMetrics {
-	case "":
-	case "text":
-		fmt.Fprintln(os.Stderr, "-- metrics --")
-		if err := snap.WriteText(os.Stderr); err != nil {
-			fmt.Fprintln(os.Stderr, "metrics dump:", err)
-		}
-	case "json":
-		if err := snap.WriteJSON(os.Stderr); err != nil {
-			fmt.Fprintln(os.Stderr, "metrics dump:", err)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -metrics format %q (want 'text' or 'json')\n", *flagMetrics)
-		os.Exit(2)
 	}
 }
 
@@ -311,13 +284,10 @@ func dramExt() {
 }
 
 // shardReg returns the registry Monte-Carlo drivers aggregate their
-// per-worker shards into: Default when -metrics is requested, nil (no
-// aggregation) otherwise.
+// per-worker shards into: Default when -metrics or -pprof is requested, nil
+// (no aggregation) otherwise.
 func shardReg() *metrics.Registry {
-	if *flagMetrics != "" {
-		return metrics.Default
-	}
-	return nil
+	return obs.ShardReg()
 }
 
 func threshold() {

@@ -16,6 +16,14 @@
 //	-seed N         reproducibility seed (default 1)
 //	-program NAME   workload: bell, ghz, distill, paulis (default bell)
 //	-replays N      cache replays for -program distill (default 20)
+//
+// Observability (shared with questbench via internal/obsflags):
+//
+//	-metrics text|json   dump the metrics registry to stderr at exit
+//	-pprof ADDR          serve net/http/pprof and Prometheus /metrics on ADDR
+//	-trace FILE          write a cycle-correlated Perfetto trace (Chrome
+//	                     trace-event JSON) of the run
+//	-trace-buf N         trace ring capacity in events
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"quest/internal/awg"
 	"quest/internal/core"
 	"quest/internal/microcode"
+	"quest/internal/obsflags"
 	"quest/internal/workload"
 )
 
@@ -44,7 +53,14 @@ func main() {
 		replays = flag.Int("replays", 20, "cache replays for -program distill")
 		tech    = flag.String("tech", "projd", "timing model: exps, projf, projd, none")
 	)
+	obs := obsflags.Register(flag.CommandLine)
 	flag.Parse()
+	// Start before the machine is built: components resolve tracing.Default
+	// at construction time.
+	if err := obs.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer obs.Finish()
 
 	cfg := quest.DefaultMachineConfig()
 	cfg.Tiles = *tiles

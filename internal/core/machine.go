@@ -27,6 +27,7 @@ import (
 	"quest/internal/noise"
 	"quest/internal/qexe"
 	"quest/internal/surface"
+	"quest/internal/tracing"
 )
 
 // MachineConfig sizes a cycle-level machine.
@@ -55,6 +56,10 @@ type MachineConfig struct {
 	// into (nil = metrics.Default). Monte-Carlo trials pass per-worker
 	// shards so parallel machines never contend on shared instruments.
 	Metrics *metrics.Registry
+	// Tracer records cycle-correlated pipeline events across the master, the
+	// MCE tiles, the decoders and the network for Perfetto export (nil =
+	// tracing.Default, which is nil — tracing off — unless -trace set it).
+	Tracer *tracing.Tracer
 }
 
 // DefaultMachineConfig returns a small but fully functional machine: one
@@ -97,6 +102,8 @@ func NewMachine(cfg MachineConfig) *Machine {
 			CacheSlots: cfg.CacheSlots,
 			Timing:     cfg.Timing,
 			Metrics:    cfg.Metrics,
+			Tracer:     cfg.Tracer,
+			TileID:     i,
 		}))
 	}
 	return &Machine{
@@ -109,6 +116,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 			DecodeWindow:    cfg.DecodeWindow,
 			UseUnionFind:    cfg.UseUnionFind,
 			Metrics:         cfg.Metrics,
+			Tracer:          cfg.Tracer,
 		}, tiles),
 	}
 }

@@ -1,6 +1,10 @@
 package decoder
 
-import "time"
+import (
+	"time"
+
+	"quest/internal/tracing"
+)
 
 // WindowDecoder implements the space-time decoding the paper describes in
 // Appendix A.2: syndrome changes are accumulated over a window of rounds and
@@ -18,6 +22,12 @@ type WindowDecoder struct {
 	buf        []Defect
 	sinceFlush int
 	instr      *Instr
+
+	tr  *tracing.Tracer
+	tid int
+	// round counts Absorb calls — the window's clock. The master calls Absorb
+	// exactly once per tile per machine cycle, so rounds align with cycles.
+	round, openRound int64
 }
 
 // Matcher is the matching stage both global decoders implement, letting the
@@ -55,6 +65,13 @@ func (w *WindowDecoder) SetInstr(in *Instr) {
 	}
 }
 
+// SetTracer binds a tracer and track id (the tile index) so flushes emit
+// decoder-track "window" spans covering open→flush. Nil disables emission.
+func (w *WindowDecoder) SetTracer(tr *tracing.Tracer, tid int) {
+	w.tr = tr
+	w.tid = tid
+}
+
 // Pending returns the number of buffered defects.
 func (w *WindowDecoder) Pending() int { return len(w.buf) }
 
@@ -62,6 +79,10 @@ func (w *WindowDecoder) Pending() int { return len(w.buf) }
 // window fills. It returns the number of corrections applied (zero while the
 // window is still open).
 func (w *WindowDecoder) Absorb(defects []Defect, frame *PauliFrame) int {
+	if w.sinceFlush == 0 {
+		w.openRound = w.round
+	}
+	w.round++
 	w.buf = append(w.buf, defects...)
 	w.sinceFlush++
 	w.instr.windowRounds.Inc()
@@ -94,5 +115,11 @@ func (w *WindowDecoder) Flush(frame *PauliFrame) int {
 		}
 	}
 	w.instr.windowFlushNs.Observe(float64(time.Since(start)))
+	dur := w.round - w.openRound
+	if dur < 1 {
+		dur = 1
+	}
+	w.tr.SpanArg("decoder", w.tid, "window", w.openRound, dur, "applied", int64(applied))
+	w.openRound = w.round
 	return applied
 }

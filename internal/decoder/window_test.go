@@ -10,6 +10,7 @@ import (
 	"quest/internal/mc"
 	"quest/internal/noise"
 	"quest/internal/surface"
+	"quest/internal/tracing"
 )
 
 func TestWindowBuffersUntilFull(t *testing.T) {
@@ -115,5 +116,39 @@ func TestDistanceSuppressionWithWindowedDecode(t *testing.T) {
 	}
 	if f3 > 0.1 {
 		t.Errorf("d=3 fail rate %.4f implausibly high at p=%.0e", f3, p)
+	}
+}
+
+// TestWindowTracerEmitsWindowSpans pins the decoder-track "window" span: one
+// span per flush, covering [open round, flush round) on the window's clock.
+func TestWindowTracerEmitsWindowSpans(t *testing.T) {
+	lat := surface.NewPlanar(5)
+	w := NewWindowDecoder(NewGlobalDecoder(lat), 3)
+	tr := tracing.New(64)
+	w.SetTracer(tr, 2)
+	frame := NewPauliFrame()
+	a := lat.Index(3, 4)
+	w.Absorb([]Defect{mkDefect(lat, a, 1)}, frame)
+	w.Absorb([]Defect{mkDefect(lat, a, 2)}, frame)
+	w.Absorb(nil, frame) // closes window 1: rounds [0,3)
+	w.Absorb([]Defect{mkDefect(lat, a, 4)}, frame)
+	w.Flush(frame) // force-closes window 2 early: rounds [3,4)
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2 window spans: %+v", len(evs), evs)
+	}
+	for i, want := range []struct{ ts, dur int64 }{{0, 3}, {3, 1}} {
+		ev := evs[i]
+		if ev.Proc != "decoder" || ev.Tid != 2 || ev.Name != "window" {
+			t.Errorf("span %d track = %s/%d %q, want decoder/2 \"window\"", i, ev.Proc, ev.Tid, ev.Name)
+		}
+		if ev.Ts != want.ts || ev.Dur != want.dur {
+			t.Errorf("span %d covers [%d,%d), want [%d,%d)", i, ev.Ts, ev.Ts+ev.Dur, want.ts, want.ts+want.dur)
+		}
+	}
+	// An empty flush emits nothing.
+	w.Flush(frame)
+	if tr.Len() != 2 {
+		t.Errorf("empty flush emitted an event")
 	}
 }

@@ -16,6 +16,8 @@ package dram
 
 import (
 	"fmt"
+
+	"quest/internal/tracing"
 )
 
 // Config describes one cryo-DRAM channel.
@@ -47,6 +49,11 @@ type Store struct {
 	cfg      Config
 	resident uint64
 	streamed uint64
+
+	tr *tracing.Tracer
+	// ops orders trace events: the store has no cycle clock, so each
+	// Load/Stream advances a logical timestamp of its own.
+	ops int64
 }
 
 // New returns an empty store.
@@ -57,6 +64,10 @@ func New(cfg Config) (*Store, error) {
 	return &Store{cfg: cfg}, nil
 }
 
+// SetTracer binds a tracer; Load and Stream then emit dram-track events
+// ordered by a per-store operation counter. Nil disables emission.
+func (s *Store) SetTracer(tr *tracing.Tracer) { s.tr = tr }
+
 // Load places an executable image of the given size, failing if it exceeds
 // capacity.
 func (s *Store) Load(bytes uint64) error {
@@ -65,6 +76,10 @@ func (s *Store) Load(bytes uint64) error {
 			s.resident, bytes, s.cfg.CapacityBytes)
 	}
 	s.resident += bytes
+	if s.tr != nil {
+		s.tr.InstantArg("dram", 0, "load", s.ops, "bytes", int64(bytes))
+		s.ops++
+	}
 	return nil
 }
 
@@ -75,6 +90,10 @@ func (s *Store) Resident() uint64 { return s.resident }
 // returns the seconds the channel needs for it.
 func (s *Store) Stream(n uint64) float64 {
 	s.streamed += n
+	if s.tr != nil {
+		s.tr.SpanArg("dram", 0, "stream", s.ops, 1, "bytes", int64(n))
+		s.ops++
+	}
 	return float64(n) / s.cfg.BandwidthBytesPerSec
 }
 

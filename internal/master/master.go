@@ -21,6 +21,7 @@ import (
 	"quest/internal/mce"
 	"quest/internal/metrics"
 	"quest/internal/noc"
+	"quest/internal/tracing"
 )
 
 // packet is one logical instruction in flight to an MCE.
@@ -55,6 +56,11 @@ type Config struct {
 	// Metrics selects the registry the controller's instruments and bus
 	// meters record into (nil = metrics.Default).
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records cycle-correlated dispatch/sync/cache
+	// instants, global-decode spans and NoC delivery events for Perfetto
+	// export; it is also handed to the per-tile window decoders and the mesh.
+	// Nil falls back to tracing.Default (nil = tracing off).
+	Tracer *tracing.Tracer
 }
 
 // masterInstr bundles the controller's instruments.
@@ -102,6 +108,7 @@ type Master struct {
 	Syndrome bandwidth.Counter
 
 	in *masterInstr
+	tr *tracing.Tracer
 
 	cycle          int
 	escalatedTotal uint64
@@ -120,11 +127,16 @@ func New(cfg Config, tiles []*mce.MCE) *Master {
 	if reg == nil {
 		reg = metrics.Default
 	}
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = tracing.Default
+	}
 	m := &Master{
 		cfg:    cfg,
 		tiles:  tiles,
 		queues: make([][]packet, len(tiles)),
 		in:     newMasterInstr(reg),
+		tr:     tr,
 	}
 	// Mirror the per-class bus meters into the registry so -metrics reports
 	// bus traffic alongside latencies without a second accounting path.
@@ -141,7 +153,9 @@ func New(cfg Config, tiles []*mce.MCE) *Master {
 		}
 		m.global = append(m.global, g)
 		if cfg.DecodeWindow > 1 {
-			m.windows = append(m.windows, decoder.NewWindowDecoder(g, cfg.DecodeWindow))
+			w := decoder.NewWindowDecoder(g, cfg.DecodeWindow)
+			w.SetTracer(tr, len(m.windows))
+			m.windows = append(m.windows, w)
 		} else {
 			m.windows = append(m.windows, nil)
 		}
@@ -157,6 +171,7 @@ func New(cfg Config, tiles []*mce.MCE) *Master {
 		}
 		h := (len(tiles) + w - 1) / w
 		m.mesh = noc.NewMesh(w, h)
+		m.mesh.SetTracer(tr)
 	}
 	return m
 }
@@ -179,6 +194,7 @@ func (m *Master) Dispatch(tile int, in isa.LogicalInstr) error {
 	}
 	m.Logical.Add(1, isa.LogicalInstrBytes)
 	m.in.dispatched.Inc()
+	m.tr.InstantArg("master", 0, "dispatch", int64(m.cycle), "tile", int64(tile))
 	return nil
 }
 
@@ -198,6 +214,7 @@ func (m *Master) SendSync(tile int, id uint16) error {
 	}
 	m.Sync.Add(1, isa.LogicalInstrBytes)
 	m.in.syncsSent.Inc()
+	m.tr.InstantArg("master", 0, "sync", int64(m.cycle), "tile", int64(tile))
 	return nil
 }
 
@@ -212,6 +229,7 @@ func (m *Master) LoadCache(tile, slot int, body []isa.LogicalInstr) error {
 	}
 	m.Cache.Add(uint64(len(body)), uint64(len(body)*isa.LogicalInstrBytes))
 	m.in.cacheBodies.Inc()
+	m.tr.InstantArg("master", 0, "cache.load", int64(m.cycle), "bytes", int64(len(body)*isa.LogicalInstrBytes))
 	return nil
 }
 
@@ -324,6 +342,9 @@ func (m *Master) StepCycle() CycleReport {
 					panic(fmt.Sprintf("master: delivery failed: %v", err))
 				}
 			}
+			if n > 0 {
+				m.tr.SpanArg("noc", tile, "deliver", int64(m.cycle), 1, "pkts", int64(n))
+			}
 			m.queues[tile] = q[n:]
 		}
 	}
@@ -340,6 +361,7 @@ func (m *Master) StepCycle() CycleReport {
 			}
 			m.tiles[hungriest].SupplyMagicStates(out)
 			rep.MagicProduced += out
+			m.tr.InstantArg("master", 0, "magic", int64(m.cycle), "n", int64(out))
 		}
 	}
 
@@ -356,6 +378,7 @@ func (m *Master) StepCycle() CycleReport {
 			// Syndrome data returns over the global bus: one byte per
 			// escalated defect record (position+round packed).
 			m.Syndrome.Add(uint64(len(r.DefectsEscalated)), uint64(len(r.DefectsEscalated)))
+			m.tr.InstantArg("decoder", i, "escalate", int64(m.cycle), "defects", int64(len(r.DefectsEscalated)))
 		}
 		if w := m.windows[i]; w != nil {
 			if applied := w.Absorb(r.DefectsEscalated, t.Frame()); applied > 0 {
@@ -381,6 +404,7 @@ func (m *Master) StepCycle() CycleReport {
 				m.in.globalDecodes.Inc()
 			}
 			m.in.decodeNs.Observe(float64(time.Since(decodeStart)))
+			m.tr.SpanArg("decoder", i, "global", int64(m.cycle), 1, "defects", int64(len(r.DefectsEscalated)))
 		}
 	}
 	m.cycle++

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"quest/internal/metrics"
+	"quest/internal/tracing"
 )
 
 // Outcome is the result of a single trial.
@@ -145,6 +146,33 @@ func Run(trials, workers int, cellSeed uint64, fn func(trial int, seed uint64) O
 // instruments observe the computation, they never feed back into it.
 func RunWith(trials, workers int, cellSeed uint64, reg *metrics.Registry,
 	fn func(trial int, seed uint64, shard *metrics.Registry) Outcome) Result {
+	return run(trials, workers, cellSeed, reg, nil, fn, nil)
+}
+
+// RunTraced is RunWith with per-worker *tracing* shards as well: when tr is
+// non-nil each worker goroutine owns a private Tracer (sized like tr) that fn
+// may record trial events into without cross-worker lock contention; after
+// the pool drains every shard is merged into tr in worker order. The merged
+// event *multiset* is independent of how trials were distributed across
+// workers, and because the exporter canonically sorts, WriteJSON output is
+// byte-identical for every worker count (pinned by TestRunTracedDeterminism).
+//
+// tr == nil disables tracing: fn receives a nil trace shard, which every
+// tracing method treats as off.
+func RunTraced(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracing.Tracer,
+	fn func(trial int, seed uint64, shard *metrics.Registry, trace *tracing.Tracer) Outcome) Result {
+	return run(trials, workers, cellSeed, reg, tr, nil, fn)
+}
+
+// run is the single pool implementation behind Run/RunWith/RunTraced. Exactly
+// one of fn (metrics-only) and tfn (metrics+tracing) is non-nil; taking both
+// callback shapes as plain parameters — instead of adapting one into the
+// other — keeps the untraced RunWith path free of wrapper-closure
+// allocations, which the committed benchmark baseline counts exactly
+// (threshold-cell-d3 allocs/op).
+func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracing.Tracer,
+	fn func(trial int, seed uint64, shard *metrics.Registry) Outcome,
+	tfn func(trial int, seed uint64, shard *metrics.Registry, trace *tracing.Tracer) Outcome) Result {
 	if trials <= 0 {
 		return Result{}
 	}
@@ -159,6 +187,11 @@ func RunWith(trials, workers int, cellSeed uint64, reg *metrics.Registry,
 	var failures atomic.Int64 // streaming counter; final value == trial-order count
 	var wg sync.WaitGroup
 	shards := make([]*metrics.Registry, workers)
+	// nil when tracing is off, and assigned exactly once so the goroutine
+	// closure captures the header by value: the untraced RunWith path stays
+	// allocation-identical to the pre-tracing engine, which the committed
+	// benchmark baseline counts exactly (threshold-cell-d3 allocs/op).
+	traces := makeTraceShards(tr, workers)
 	busyNs := make([]int64, workers) // per-worker time spent inside fn
 	start := time.Now()
 	for w := 0; w < workers; w++ {
@@ -169,6 +202,10 @@ func RunWith(trials, workers int, cellSeed uint64, reg *metrics.Registry,
 		go func(w int) {
 			defer wg.Done()
 			shard := shards[w]
+			var trace *tracing.Tracer
+			if traces != nil {
+				trace = traces[w]
+			}
 			var trialNs *metrics.Histogram
 			var nTrials, nFails *metrics.Counter
 			if shard != nil {
@@ -182,7 +219,12 @@ func RunWith(trials, workers int, cellSeed uint64, reg *metrics.Registry,
 					return
 				}
 				t0 := time.Now()
-				out := fn(t, TrialSeed(cellSeed, t), shard)
+				var out Outcome
+				if tfn != nil {
+					out = tfn(t, TrialSeed(cellSeed, t), shard, trace)
+				} else {
+					out = fn(t, TrialSeed(cellSeed, t), shard)
+				}
 				busyNs[w] += int64(time.Since(t0))
 				if shard != nil {
 					trialNs.Observe(float64(time.Since(t0)))
@@ -200,6 +242,11 @@ func RunWith(trials, workers int, cellSeed uint64, reg *metrics.Registry,
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if tr != nil {
+		for _, shard := range traces {
+			tr.Merge(shard)
+		}
+	}
 	if reg != nil {
 		for _, shard := range shards {
 			reg.Merge(shard)
@@ -225,4 +272,17 @@ func RunWith(trials, workers int, cellSeed uint64, reg *metrics.Registry,
 	res.Rate = float64(res.Failures) / float64(trials)
 	res.WilsonLo, res.WilsonHi = Wilson(res.Failures, trials, 1.96)
 	return res
+}
+
+// makeTraceShards builds one private Tracer per worker, each sized like the
+// merge target, or returns nil when tracing is off.
+func makeTraceShards(tr *tracing.Tracer, workers int) []*tracing.Tracer {
+	if tr == nil {
+		return nil
+	}
+	traces := make([]*tracing.Tracer, workers)
+	for w := range traces {
+		traces[w] = tracing.New(tr.Capacity())
+	}
+	return traces
 }

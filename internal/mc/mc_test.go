@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -10,6 +11,7 @@ import (
 
 	"quest/internal/bandwidth"
 	"quest/internal/metrics"
+	"quest/internal/tracing"
 )
 
 // trialRate is a deterministic pseudo-experiment: fail iff the trial's own
@@ -217,5 +219,70 @@ func TestRunWithNilRegistry(t *testing.T) {
 		})
 	if res.Failures != 17 {
 		t.Errorf("failures = %d, want 17", res.Failures)
+	}
+}
+
+// TestRunTracedDeterminism pins the tracing determinism contract: the merged
+// trace of a run is the same event multiset regardless of worker count, and
+// the canonical-sorting exporter therefore produces byte-identical JSON for
+// workers=1 and workers=8. Runs under -race via make race, which also pins
+// shard isolation (each worker records only into its private tracer).
+func TestRunTracedDeterminism(t *testing.T) {
+	runOnce := func(workers int) []byte {
+		tr := tracing.New(1 << 12)
+		res := RunTraced(40, workers, Seed(7), nil, tr,
+			func(trial int, seed uint64, shard *metrics.Registry, trace *tracing.Tracer) Outcome {
+				if trace == nil {
+					t.Error("expected per-worker trace shard")
+					return Outcome{}
+				}
+				// Synthetic per-trial events: cycle timebase derived from the
+				// trial index only, never from scheduling.
+				trace.SpanArg("mce", trial%4, "busy", int64(trial), 1, "uops", int64(seed%97))
+				trace.Instant("master", 0, "dispatch", int64(trial))
+				return Outcome{Fail: trial%5 == 0}
+			})
+		if res.Failures != 8 {
+			t.Fatalf("workers=%d: failures = %d, want 8", workers, res.Failures)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	one, eight := runOnce(1), runOnce(8)
+	if !bytes.Equal(one, eight) {
+		t.Fatalf("merged trace depends on worker count:\nworkers=1: %d bytes\nworkers=8: %d bytes", len(one), len(eight))
+	}
+	rep, err := tracing.Validate(one)
+	if err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	if rep.Events != 80 {
+		t.Errorf("events = %d, want 80", rep.Events)
+	}
+}
+
+// TestRunTracedNilTracer pins that a nil tracer disables trace sharding
+// without disturbing metrics sharding or the Result.
+func TestRunTracedNilTracer(t *testing.T) {
+	reg := metrics.New()
+	res := RunTraced(30, 4, Seed(9), reg, nil,
+		func(trial int, seed uint64, shard *metrics.Registry, trace *tracing.Tracer) Outcome {
+			if trace != nil {
+				t.Error("expected nil trace shard with nil tracer")
+			}
+			if shard == nil {
+				t.Error("expected metrics shard")
+			}
+			trace.Span("mce", 0, "busy", int64(trial), 1) // must be a safe no-op
+			return Outcome{Fail: trial%2 == 0}
+		})
+	if res.Failures != 15 {
+		t.Errorf("failures = %d, want 15", res.Failures)
+	}
+	if got := reg.Counter("mc.trials").Value(); got != 30 {
+		t.Errorf("mc.trials = %d, want 30", got)
 	}
 }

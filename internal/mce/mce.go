@@ -29,6 +29,7 @@ import (
 	"quest/internal/microcode"
 	"quest/internal/noise"
 	"quest/internal/surface"
+	"quest/internal/tracing"
 )
 
 // instr bundles the MCE's instruments, resolved once per engine so StepCycle
@@ -87,6 +88,14 @@ type Config struct {
 	// (nil = metrics.Default). Monte-Carlo workers pass per-worker shards so
 	// parallel trials never contend on shared counters.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records cycle-correlated events (per-cycle
+	// busy/stall/idle spans, cache fills and replays, local decode activity)
+	// for Perfetto export. Nil falls back to tracing.Default, which is itself
+	// nil — tracing fully off, zero-alloc — unless a binary enabled it.
+	Tracer *tracing.Tracer
+	// TileID labels this engine's trace track (the master's tile index);
+	// purely observational.
+	TileID int
 }
 
 // CycleReport summarizes one StepCycle.
@@ -141,7 +150,9 @@ type MCE struct {
 
 	magicStates int
 
-	in *instr
+	in  *instr
+	tr  *tracing.Tracer
+	tid int
 
 	cycle          int
 	microOps       uint64
@@ -172,6 +183,10 @@ func New(cfg Config) *MCE {
 	if reg == nil {
 		reg = metrics.Default
 	}
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = tracing.Default
+	}
 	lat := cfg.Layout.Lat
 	m := &MCE{
 		cfg:   cfg,
@@ -187,7 +202,9 @@ func New(cfg Config) *MCE {
 		cache:     make(map[int][]isa.LogicalInstr),
 		busyPatch: make(map[int]bool),
 
-		in: newInstr(reg),
+		in:  newInstr(reg),
+		tr:  tr,
+		tid: cfg.TileID,
 
 		pendingSynd: make(map[int]int),
 		pendingData: make(map[int]int),
@@ -265,6 +282,7 @@ func (m *MCE) Enqueue(in isa.LogicalInstr) error {
 		}
 		m.cacheHits += uint64(reps)
 		m.in.cacheHits.Add(uint64(reps))
+		m.tr.InstantArg("mce", m.tid, "cache.replay", int64(m.cycle), "reps", int64(reps))
 		return nil
 	case isa.LCacheLoad:
 		return fmt.Errorf("mce: LCacheLoad must arrive via LoadCacheSlot with its body")
@@ -316,6 +334,7 @@ func (m *MCE) LoadCacheSlot(slot int, body []isa.LogicalInstr) error {
 	m.cache[slot] = append([]isa.LogicalInstr(nil), body...)
 	m.cacheLoads++
 	m.in.cacheLoads.Inc()
+	m.tr.InstantArg("mce", m.tid, "cache.fill", int64(m.cycle), "instrs", int64(len(body)))
 	return nil
 }
 
@@ -345,6 +364,7 @@ const issueWidth = 4
 // StepCycle advances the machine by one QECC cycle and returns the report.
 func (m *MCE) StepCycle() CycleReport {
 	start := time.Now()
+	stallBefore := m.stalledT
 	rep := CycleReport{Cycle: m.cycle}
 	if m.inj != nil {
 		m.inj.SetLocation(m.cycle, 0)
@@ -390,6 +410,30 @@ func (m *MCE) StepCycle() CycleReport {
 	}
 	rep.DefectsLocal = len(resolved)
 	rep.DefectsEscalated = residual
+
+	if m.tr != nil {
+		// One span per cycle, named by what the cycle achieved: "busy" when
+		// logical work progressed (issue, braid, retire), "stall" when the
+		// only blocked progress was a T waiting on a magic state, "idle" when
+		// nothing but the background QECC replay ran. Summarize folds these
+		// into the per-tile busy/stall/idle breakdown.
+		name := "idle"
+		switch {
+		case rep.LogicalRetired > 0 || len(overlay) > 0 || len(m.braids) > 0:
+			name = "busy"
+		case m.stalledT > stallBefore:
+			name = "stall"
+		}
+		m.tr.SpanArg("mce", m.tid, name, int64(rep.Cycle), 1, "uops", int64(rep.MicroOpsIssued))
+		// The local LUT decoder runs every cycle; give its track a span only
+		// when it had defects to chew on (keeps idle traces readable), plus a
+		// permanent idle marker so the decoder track always exists.
+		if len(defects) > 0 {
+			m.tr.SpanArg("decoder", m.tid, "local", int64(rep.Cycle), 1, "defects", int64(len(defects)))
+		} else {
+			m.tr.Span("decoder", m.tid, "idle", int64(rep.Cycle), 1)
+		}
+	}
 
 	m.cycle++
 	m.in.cycles.Inc()

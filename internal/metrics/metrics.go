@@ -439,14 +439,27 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.hists {
 		s.Histograms = append(s.Histograms, HistogramSnapshot{Name: name, Summary: h.Summary()})
 	}
+	return s.sorted()
+}
+
+// sorted returns the snapshot with every section ordered by name. Snapshot()
+// already sorts, but WriteText/WriteJSON re-sort defensively so hand-built or
+// mutated Snapshot values (and any future unsorted producer) still render
+// deterministically — the property CI diffs and the golden tests rely on.
+func (s Snapshot) sorted() Snapshot {
+	s.Counters = append([]CounterSnapshot(nil), s.Counters...)
+	s.Gauges = append([]GaugeSnapshot(nil), s.Gauges...)
+	s.Histograms = append([]HistogramSnapshot(nil), s.Histograms...)
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	return s
 }
 
-// WriteText renders the snapshot as aligned text, one instrument per line.
+// WriteText renders the snapshot as aligned text, one instrument per line,
+// sorted by name regardless of the receiver's order.
 func (s Snapshot) WriteText(w io.Writer) error {
+	s = s.sorted()
 	for _, c := range s.Counters {
 		if _, err := fmt.Fprintf(w, "counter   %-40s %d\n", c.Name, c.Value); err != nil {
 			return err
@@ -468,9 +481,10 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	return nil
 }
 
-// WriteJSON renders the snapshot as indented JSON.
+// WriteJSON renders the snapshot as indented JSON, sorted by name regardless
+// of the receiver's order.
 func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(s)
+	return enc.Encode(s.sorted())
 }

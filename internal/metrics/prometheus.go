@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Prometheus text exposition format (version 0.0.4)
+// over a Registry, so a long sim or benchmark run can be scraped live from
+// the same HTTP server that serves pprof (see internal/obsflags). No client
+// library is used: the format is a few lines per instrument and hand-rolling
+// it keeps the repository dependency-free.
+//
+// Mapping: every instrument name is prefixed with "quest_" and sanitized to
+// the Prometheus grammar (dots and other invalid runes become underscores).
+// Counters expose as counters, gauges as gauges, and fixed-bucket histograms
+// as native Prometheus histograms — cumulative `_bucket{le="..."}` series
+// ending in `le="+Inf"`, plus `_sum` and `_count`. Output is sorted by
+// instrument name, so two scrapes of identical state are byte-identical.
+
+// PrometheusName sanitizes an instrument name to a valid Prometheus metric
+// name with the quest_ namespace prefix: "master.decode.ns" →
+// "quest_master_decode_ns".
+func PrometheusName(name string) string {
+	var b strings.Builder
+	b.WriteString("quest_")
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects, including the +Inf /
+// -Inf / NaN spellings.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// WritePrometheus renders every registered instrument in the Prometheus text
+// exposition format, sorted by name. Histograms are read bucket-by-bucket
+// (not from a Summary), so the exposition carries the full distribution.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	type hist struct {
+		name string
+		h    *Histogram
+	}
+	counters := make([]CounterSnapshot, 0, len(r.counters))
+	for name, c := range r.counters {
+		counters = append(counters, CounterSnapshot{Name: name, Value: c.Value()})
+	}
+	gauges := make([]GaugeSnapshot, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges = append(gauges, GaugeSnapshot{Name: name, Value: g.Value()})
+	}
+	hists := make([]hist, 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, hist{name, h})
+	}
+	r.mu.RUnlock()
+	sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, c := range counters {
+		n := PrometheusName(c.Name)
+		bw.WriteString("# TYPE " + n + " counter\n")
+		bw.WriteString(n + " " + strconv.FormatUint(c.Value, 10) + "\n")
+	}
+	for _, g := range gauges {
+		n := PrometheusName(g.Name)
+		bw.WriteString("# TYPE " + n + " gauge\n")
+		bw.WriteString(n + " " + promFloat(g.Value) + "\n")
+	}
+	for _, hh := range hists {
+		n := PrometheusName(hh.name)
+		bw.WriteString("# TYPE " + n + " histogram\n")
+		bounds := hh.h.Bounds()
+		bucketCounts := hh.h.BucketCounts()
+		cum := uint64(0)
+		for i, b := range bounds {
+			cum += bucketCounts[i]
+			bw.WriteString(n + `_bucket{le="` + promFloat(b) + `"} ` +
+				strconv.FormatUint(cum, 10) + "\n")
+		}
+		cum += bucketCounts[len(bucketCounts)-1]
+		bw.WriteString(n + `_bucket{le="+Inf"} ` + strconv.FormatUint(cum, 10) + "\n")
+		bw.WriteString(n + "_sum " + promFloat(hh.h.sum.load()) + "\n")
+		bw.WriteString(n + "_count " + strconv.FormatUint(hh.h.Count(), 10) + "\n")
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry in the Prometheus text exposition format —
+// mount it at /metrics next to the pprof handlers.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -13,6 +13,8 @@ package noc
 
 import (
 	"fmt"
+
+	"quest/internal/tracing"
 )
 
 // Packet is one routed message.
@@ -42,6 +44,8 @@ type Mesh struct {
 	maxLatency int
 	// LinkCapacity is packets per link per cycle (1 models a serial link).
 	LinkCapacity int
+
+	tr *tracing.Tracer
 }
 
 type linkKey struct {
@@ -63,6 +67,10 @@ func NewMesh(w, h int) *Mesh {
 	}
 	return m
 }
+
+// SetTracer binds a tracer; each ejected packet then emits a noc-track span
+// covering injection→delivery at its destination router. Nil disables it.
+func (m *Mesh) SetTracer(tr *tracing.Tracer) { m.tr = tr }
 
 // Tiles returns the tile count.
 func (m *Mesh) Tiles() int { return m.W * m.H }
@@ -114,6 +122,11 @@ func (m *Mesh) Step() map[int][]Packet {
 				}
 				m.delivered[k.router] = append(m.delivered[k.router], p)
 				out[k.router] = append(out[k.router], p)
+				dur := int64(lat)
+				if dur < 1 {
+					dur = 1
+				}
+				m.tr.SpanArg("noc", k.router, "pkt", int64(p.injected), dur, "lat", int64(lat))
 				continue
 			}
 			dest := neighborOf(k.router, k.dir, m.W)

@@ -1,0 +1,170 @@
+// Package obsflags is the shared observability flag wiring for the
+// repository's binaries. cmd/questsim and cmd/questbench both expose the same
+// four flags — -metrics, -pprof, -trace, -trace-buf — and this package keeps
+// their semantics identical instead of letting two hand-rolled copies drift:
+//
+//	-metrics text|json   dump the default metrics registry to stderr at exit
+//	-pprof ADDR          serve net/http/pprof AND Prometheus /metrics on ADDR
+//	-trace FILE          record a cycle-correlated event trace and write it
+//	                     as Perfetto-loadable Chrome trace-event JSON
+//	-trace-buf N         trace ring capacity in events (0 = default 256k)
+//
+// Lifecycle: Register the flags before flag.Parse, Start after it (and before
+// the machine is built, so components resolving tracing.Default see the
+// enabled tracer), Finish on the way out.
+package obsflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"quest/internal/metrics"
+	"quest/internal/tracing"
+)
+
+// Obs holds the registered flag values and the running server state.
+type Obs struct {
+	metricsFmt *string
+	pprofAddr  *string
+	tracePath  *string
+	traceBuf   *int
+
+	ln  net.Listener
+	srv *http.Server
+	// Log is where status lines and metric dumps go (default os.Stderr).
+	Log io.Writer
+}
+
+// Register installs the shared flags on fs (flag.CommandLine in the
+// binaries; a private FlagSet in tests).
+func Register(fs *flag.FlagSet) *Obs {
+	return &Obs{
+		metricsFmt: fs.String("metrics", "", "dump the metrics registry at exit: 'text' or 'json'"),
+		pprofAddr: fs.String("pprof", "",
+			"serve net/http/pprof and Prometheus /metrics on this address (e.g. localhost:6060)"),
+		tracePath: fs.String("trace", "",
+			"write a cycle-correlated Perfetto trace (Chrome trace-event JSON) to this file"),
+		traceBuf: fs.Int("trace-buf", 0,
+			fmt.Sprintf("trace ring capacity in events (0 = %d)", tracing.DefaultCapacity)),
+		Log: os.Stderr,
+	}
+}
+
+// TraceEnabled reports whether -trace was given.
+func (o *Obs) TraceEnabled() bool { return *o.tracePath != "" }
+
+// MetricsFormat returns the -metrics value ("", "text" or "json").
+func (o *Obs) MetricsFormat() string { return *o.metricsFmt }
+
+// ShardReg returns the registry Monte-Carlo drivers should aggregate
+// per-worker shards into: metrics.Default when -metrics (or -pprof, which
+// serves the registry live) is requested, nil otherwise so the metrics-off
+// path stays allocation-free.
+func (o *Obs) ShardReg() *metrics.Registry {
+	if *o.metricsFmt != "" || *o.pprofAddr != "" {
+		return metrics.Default
+	}
+	return nil
+}
+
+// Tracer returns the process tracer (nil when tracing is off). Valid after
+// Start.
+func (o *Obs) Tracer() *tracing.Tracer { return tracing.Default }
+
+// Addr returns the observability server's listen address ("" when -pprof is
+// off). Useful in tests, which pass -pprof 127.0.0.1:0.
+func (o *Obs) Addr() string {
+	if o.ln == nil {
+		return ""
+	}
+	return o.ln.Addr().String()
+}
+
+// Start validates the flag values, enables tracing.Default when -trace was
+// given, and starts the pprof + /metrics HTTP server when -pprof was given.
+func (o *Obs) Start() error {
+	switch *o.metricsFmt {
+	case "", "text", "json":
+	default:
+		return fmt.Errorf("unknown -metrics format %q (want 'text' or 'json')", *o.metricsFmt)
+	}
+	if *o.tracePath != "" {
+		tracing.Default = tracing.New(*o.traceBuf)
+	}
+	if *o.pprofAddr != "" {
+		ln, err := net.Listen("tcp", *o.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof server: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/metrics", metrics.Handler(metrics.Default))
+		o.ln = ln
+		o.srv = &http.Server{Handler: mux}
+		go func() {
+			if err := o.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(o.Log, "pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(o.Log, "observability: serving pprof and /metrics on http://%s/\n", o.Addr())
+	}
+	return nil
+}
+
+// Finish flushes everything the flags asked for: the trace file (plus a
+// per-track busy/stall/idle summary on Log), the metrics dump, and the HTTP
+// server shutdown. Safe to call when nothing was enabled.
+func (o *Obs) Finish() error {
+	var firstErr error
+	if *o.tracePath != "" && tracing.Default != nil {
+		if err := o.writeTrace(); err != nil {
+			firstErr = err
+			fmt.Fprintln(o.Log, "trace:", err)
+		}
+	}
+	switch *o.metricsFmt {
+	case "text":
+		fmt.Fprintln(o.Log, "-- metrics --")
+		if err := metrics.Default.Snapshot().WriteText(o.Log); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	case "json":
+		if err := metrics.Default.Snapshot().WriteJSON(o.Log); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if o.srv != nil {
+		if err := o.srv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		o.srv, o.ln = nil, nil
+	}
+	return firstErr
+}
+
+func (o *Obs) writeTrace() error {
+	f, err := os.Create(*o.tracePath)
+	if err != nil {
+		return err
+	}
+	if err := tracing.Default.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Log, "trace: %d event(s) on %d track(s) written to %s (load in ui.perfetto.dev)\n",
+		tracing.Default.Len(), len(tracing.Default.Summaries()), *o.tracePath)
+	fmt.Fprintln(o.Log, "-- trace summary --")
+	return tracing.Default.Summarize(o.Log)
+}

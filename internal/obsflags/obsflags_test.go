@@ -1,0 +1,137 @@
+package obsflags
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"quest/internal/metrics"
+	"quest/internal/tracing"
+)
+
+// resetDefaults restores process-wide state this package mutates so tests do
+// not leak into each other.
+func resetDefaults() {
+	tracing.Default = nil
+	metrics.Default = metrics.New()
+}
+
+func TestStartRejectsBadMetricsFormat(t *testing.T) {
+	defer resetDefaults()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := Register(fs)
+	if err := fs.Parse([]string{"-metrics", "xml"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(); err == nil {
+		t.Fatal("Start accepted -metrics xml")
+	}
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	defer resetDefaults()
+	path := filepath.Join(t.TempDir(), "out.json")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := Register(fs)
+	o.Log = io.Discard
+	if err := fs.Parse([]string{"-trace", path, "-trace-buf", "1024"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	tr := o.Tracer()
+	if tr == nil || tr.Capacity() != 1024 {
+		t.Fatalf("tracer = %v (cap %d), want enabled with cap 1024", tr, tr.Capacity())
+	}
+	tr.Span("mce", 0, "busy", 0, 1)
+	tr.Instant("master", 0, "dispatch", 0)
+	var log bytes.Buffer
+	o.Log = &log
+	if err := o.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tracing.Validate(data)
+	if err != nil {
+		t.Fatalf("written trace invalid: %v", err)
+	}
+	if rep.Events != 2 || rep.Procs != 2 {
+		t.Errorf("report = %+v, want 2 events on 2 procs", rep)
+	}
+	if !strings.Contains(log.String(), "trace summary") {
+		t.Errorf("Finish did not print the track summary:\n%s", log.String())
+	}
+}
+
+func TestMetricsServerServesPrometheusAndPprof(t *testing.T) {
+	defer resetDefaults()
+	resetDefaults()
+	metrics.Default.Counter("master.dispatched").Add(5)
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := Register(fs)
+	o.Log = io.Discard
+	if err := fs.Parse([]string{"-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Finish()
+	if o.ShardReg() != metrics.Default {
+		t.Error("ShardReg should aggregate into Default while serving")
+	}
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + o.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "# TYPE quest_master_dispatched counter") ||
+		!strings.Contains(body, "quest_master_dispatched 5") {
+		t.Errorf("/metrics missing exposition:\n%s", body)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestShardRegNilWhenObservabilityOff(t *testing.T) {
+	defer resetDefaults()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.ShardReg() != nil {
+		t.Error("ShardReg should be nil with no -metrics/-pprof")
+	}
+	if o.TraceEnabled() {
+		t.Error("TraceEnabled with no -trace")
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if tracing.Default != nil {
+		t.Error("Start enabled tracing without -trace")
+	}
+	if err := o.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

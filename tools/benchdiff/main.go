@@ -13,6 +13,11 @@
 // listed but never fail the run, so adding or retiring benchmarks does not
 // require touching the baseline in the same commit. Reports with different
 // schema identifiers refuse to compare.
+//
+// Allocation movement (B/op, allocs/op) is compared as well but only warns:
+// allocation counts are exact, so any growth is reported, yet a memory shift
+// alone never fails the run — latency is the gate, allocations are the hint
+// that explains it.
 package main
 
 import (
@@ -64,6 +69,13 @@ func main() {
 		}
 		fmt.Printf("%-8s %-28s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
 			status, c.Name, b.NsPerOp, c.NsPerOp, 100*ratio)
+		// Advisory only: surface allocation growth without failing the run.
+		if c.AllocsPerOp > b.AllocsPerOp {
+			fmt.Printf("WARN     %-28s %12d -> %12d allocs/op\n", c.Name, b.AllocsPerOp, c.AllocsPerOp)
+		}
+		if c.BytesPerOp > b.BytesPerOp {
+			fmt.Printf("WARN     %-28s %12d -> %12d B/op\n", c.Name, b.BytesPerOp, c.BytesPerOp)
+		}
 	}
 	gone := make([]string, 0, len(baseBy))
 	for name := range baseBy {

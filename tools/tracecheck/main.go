@@ -1,0 +1,50 @@
+// Command tracecheck validates a Chrome trace-event JSON file as emitted by
+// the -trace flag of questsim/questbench: well-formed JSON-object format,
+// every event carrying ph/name/pid/tid/ts, non-negative span durations, and a
+// non-decreasing ts sequence within every (pid, tid) track. CI's trace-smoke
+// step runs it over a freshly generated trace so a schema regression fails
+// the build instead of silently producing files Perfetto rejects.
+//
+// Usage:
+//
+//	tracecheck [-min-procs N] [-min-events N] trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quest/internal/tracing"
+)
+
+func main() {
+	minProcs := flag.Int("min-procs", 0, "fail unless the trace carries at least this many processes (component tracks)")
+	minEvents := flag.Int("min-events", 1, "fail unless the trace carries at least this many events")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-procs N] [-min-events N] trace.json")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	rep, err := tracing.Validate(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if rep.Procs < *minProcs {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %d process(es), want >= %d\n", path, rep.Procs, *minProcs)
+		os.Exit(1)
+	}
+	if rep.Events < *minEvents {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %d event(s), want >= %d\n", path, rep.Events, *minEvents)
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %s OK — %d event(s), %d process(es), %d track(s)\n",
+		path, rep.Events, rep.Procs, rep.Tracks)
+}
