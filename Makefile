@@ -1,15 +1,17 @@
 # Convenience targets for the QuEST reproduction.
 #
 # Observability / CI targets:
-#   make bench-json   regenerate BENCH_PR2.json, the committed benchmark
+#   make bench-json   regenerate BENCH_PR4.json, the committed benchmark
 #                     baseline tools/benchdiff compares CI runs against
 #   make benchdiff    compare a fresh suite run against the committed baseline
 #   make trace-smoke  run a tiny traced sim and validate the Perfetto JSON
+#   make ledger-smoke run a small ledgered+heatmapped sweep and validate the
+#                     JSONL with ledgercheck
 #   make lint         gofmt + vet (CI additionally runs staticcheck)
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json benchdiff trace-smoke lint vet fmt experiments examples fuzz clean
+.PHONY: all build test test-short race bench bench-json benchdiff trace-smoke ledger-smoke lint vet fmt experiments examples fuzz clean
 
 all: build vet test race
 
@@ -42,18 +44,27 @@ bench:
 # Regenerate the committed benchmark baseline (schema quest-bench/1; see
 # internal/benchsuite). Run on a quiet machine; CI compares against this file.
 bench-json:
-	$(GO) run ./cmd/questbench -bench-json BENCH_PR2.json
+	$(GO) run ./cmd/questbench -bench-json BENCH_PR4.json
 
 # Compare a fresh suite run against the committed baseline (>30% ns/op fails).
 benchdiff:
 	$(GO) run ./cmd/questbench -bench-json /tmp/quest_bench_current.json
-	$(GO) run ./tools/benchdiff BENCH_PR2.json /tmp/quest_bench_current.json
+	$(GO) run ./tools/benchdiff BENCH_PR4.json /tmp/quest_bench_current.json
 
 # Run a tiny traced simulation and validate the emitted Perfetto JSON —
 # the same check CI's trace-smoke job runs.
 trace-smoke:
 	$(GO) run ./cmd/questsim -program distill -replays 5 -trace /tmp/quest_trace_smoke.json
 	$(GO) run ./tools/tracecheck -min-procs 4 /tmp/quest_trace_smoke.json
+
+# Run a small traced + ledgered threshold sweep with CI early-stop and
+# heatmaps, then validate the ledger — the same check CI's trace-smoke job
+# runs. The experiment ledger and heatmap are worker-count independent.
+ledger-smoke:
+	$(GO) run ./cmd/questbench -trials 40 -workers 4 -ci-stop 0.2 \
+		-ledger /tmp/quest_ledger_smoke.jsonl -heatmap /tmp/quest_heatmap_smoke.json \
+		-trace /tmp/quest_sweep_trace.json threshold
+	$(GO) run ./tools/ledgercheck -min-cells 6 -min-trials 60 /tmp/quest_ledger_smoke.jsonl
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

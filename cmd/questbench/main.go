@@ -8,6 +8,14 @@
 // with per-trial seeds mixed from a fixed experiment seed, so the printed
 // rates are bit-identical for every -workers value — crank workers for
 // wall-clock, crank trials for confidence.
+//
+// Observability (shared with questsim via internal/obsflags): -metrics,
+// -pprof, -trace, -trace-buf, plus the experiment-ledger bundle — -ledger
+// FILE streams a JSONL run ledger (validate with tools/ledgercheck),
+// -progress renders live per-cell Wilson intervals on stderr, -ci-stop W
+// stops each cell once its 95% interval is narrower than W, and -heatmap
+// FILE writes spatial defect/matching heatmaps as JSON (ASCII renders go to
+// stderr). All of it is worker-count independent.
 package main
 
 import (
@@ -31,9 +39,13 @@ var (
 	flagWorkers = flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
 	flagBench   = flag.String("bench-json", "", "run the performance benchmark suite and write the JSON report to this path ('-' for stdout), then exit")
 	flagBenchT  = flag.String("benchtime", "", "per-case benchtime for -bench-json ('1s', '100x'; default 1s)")
-	// obs wires the shared -metrics/-pprof/-trace/-trace-buf observability
-	// flags identically to cmd/questsim.
+	// obs wires the shared observability flags (-metrics, -pprof, -trace,
+	// -trace-buf, -ledger, -progress, -ci-stop, -heatmap) identically to
+	// cmd/questsim.
 	obs = obsflags.Register(flag.CommandLine)
+	// sweep carries the observation bundle into the statistical experiment
+	// drivers; assembled in main after obs.Start.
+	sweep core.SweepObs
 )
 
 // trialsOr returns the -trials override, or the path's default.
@@ -79,6 +91,23 @@ func main() {
 		return
 	}
 	defer obs.Finish()
+	// Deliberately no -workers here: the ledger is byte-identical for any
+	// worker count, and recording the pool size would break that.
+	lw, err := obs.OpenLedger("questbench", map[string]string{
+		"args":    strings.Join(args, " "),
+		"trials":  strconv.Itoa(*flagTrials),
+		"ci-stop": strconv.FormatFloat(obs.CIStop(), 'g', -1, 64),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sweep = core.SweepObs{
+		Ledger:   lw,
+		Heat:     obs.HeatSet(),
+		CIWidth:  obs.CIStop(),
+		Progress: obs.SweepProgress(),
+	}
 	if *flagMD {
 		// Full evaluation as a self-contained Markdown report.
 		fmt.Print(core.MarkdownReport(trialsOr(150), *flagWorkers))
@@ -292,7 +321,8 @@ func shardReg() *metrics.Registry {
 
 func threshold() {
 	var rows [][]string
-	for _, r := range core.ThresholdIn(shardReg(), []float64{2e-3, 1e-3, 5e-4}, []int{3, 5}, trialsOr(200), *flagWorkers) {
+	for _, r := range core.ThresholdObserved(shardReg(), obs.Tracer(),
+		[]float64{2e-3, 1e-3, 5e-4}, []int{3, 5}, trialsOr(200), *flagWorkers, sweep) {
 		rows = append(rows, []string{
 			fmt.Sprintf("%.0e", r.PhysRate), strconv.Itoa(r.Distance),
 			fmt.Sprintf("%.4f", r.FailRate),
@@ -305,7 +335,7 @@ func threshold() {
 func memory() {
 	var rows [][]string
 	for _, p := range []float64{0, 1e-4, 5e-4} {
-		r, err := core.MachineMemoryIn(shardReg(), p, 8, trialsOr(40), *flagWorkers)
+		r, err := core.MachineMemoryObserved(shardReg(), obs.Tracer(), p, 8, trialsOr(40), *flagWorkers, sweep)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "memory experiment failed:", err)
 			os.Exit(1)

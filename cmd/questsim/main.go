@@ -24,6 +24,14 @@
 //	-trace FILE          write a cycle-correlated Perfetto trace (Chrome
 //	                     trace-event JSON) of the run
 //	-trace-buf N         trace ring capacity in events
+//	-ledger FILE         write a provenance header plus a one-cell run
+//	                     summary as a JSONL ledger (tools/ledgercheck)
+//	-heatmap FILE        collect machine-wide defect/matching heatmaps and
+//	                     write them as JSON (ASCII render on stderr)
+//	-progress            tick idle-cycle progress on stderr
+//	-ci-stop W           accepted for flag parity, but questsim runs a single
+//	                     simulation — adaptive stopping applies to questbench
+//	                     sweeps
 package main
 
 import (
@@ -35,6 +43,8 @@ import (
 	"quest"
 	"quest/internal/awg"
 	"quest/internal/core"
+	"quest/internal/ledger"
+	"quest/internal/mc"
 	"quest/internal/microcode"
 	"quest/internal/obsflags"
 	"quest/internal/workload"
@@ -61,6 +71,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer obs.Finish()
+	if obs.CIStop() > 0 {
+		fmt.Fprintln(obs.Log, "ci-stop: questsim runs a single simulation; adaptive stopping applies to questbench sweeps")
+	}
 
 	cfg := quest.DefaultMachineConfig()
 	cfg.Tiles = *tiles
@@ -93,6 +106,7 @@ func main() {
 	default:
 		log.Fatalf("unknown tech %q", *tech)
 	}
+	cfg.Heat = obs.HeatSet()
 	m := quest.NewMachine(cfg)
 
 	var rep quest.RunReport
@@ -106,8 +120,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	tick := *cycles / 10
+	if tick < 1 {
+		tick = 1
+	}
 	for c := 0; c < *cycles; c++ {
 		m.Master().StepCycle()
+		if obs.ProgressEnabled() && ((c+1)%tick == 0 || c+1 == *cycles) {
+			fmt.Fprintf(obs.Log, "\ridle qecc cycles: %d/%d", c+1, *cycles)
+		}
+	}
+	if obs.ProgressEnabled() && *cycles > 0 {
+		fmt.Fprintln(obs.Log)
+	}
+	if err := writeRunLedger(obs, rep, cfg, *noiseP, *cycles, *program); err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("questsim: %d tile(s) × %d patch(es), d=%d, %s microcode, noise=%g, program=%s\n",
@@ -134,6 +161,39 @@ func main() {
 		}
 	}
 	_ = core.RoundInstrs
+}
+
+// writeRunLedger records the single simulation as a one-cell ledger (when
+// -ledger is on): a provenance header, one trial record carrying the run
+// seed, and a summary cell whose Wilson bracket covers the (single,
+// successfully drained) trial.
+func writeRunLedger(obs *obsflags.Obs, rep quest.RunReport, cfg quest.MachineConfig, noiseP float64, cycles int, program string) error {
+	lw, err := obs.OpenLedger("questsim", map[string]string{
+		"program": program,
+		"design":  cfg.Design.String(),
+	})
+	if err != nil || lw == nil {
+		return err
+	}
+	cell := fmt.Sprintf("run program=%s", program)
+	lw.WriteTrial(ledger.Trial{
+		Cell: cell, Trial: 0, Seed: ledger.SeedString(uint64(cfg.Seed)), Fail: !rep.Drained,
+	})
+	failures := 0
+	if !rep.Drained {
+		failures = 1
+	}
+	lo, hi := mc.Wilson(failures, 1, 1.96)
+	lw.WriteCell(ledger.Cell{
+		Cell: cell,
+		Params: map[string]float64{
+			"noise": noiseP, "d": float64(cfg.Distance), "tiles": float64(cfg.Tiles),
+			"patches": float64(cfg.PatchesPerTile), "cycles": float64(cycles),
+		},
+		Seed: ledger.SeedString(uint64(cfg.Seed)), Budget: 1, Trials: 1,
+		Failures: failures, Rate: float64(failures), WilsonLo: lo, WilsonHi: hi,
+	})
+	return nil
 }
 
 func buildProgram(name string, patches int) *quest.Program {

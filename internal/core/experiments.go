@@ -5,16 +5,10 @@ import (
 	"math"
 	"strings"
 
-	"math/rand"
-
-	"quest/internal/awg"
 	"quest/internal/bandwidth"
-	"quest/internal/clifford"
 	"quest/internal/concat"
-	"quest/internal/decoder"
 	"quest/internal/distill"
 	"quest/internal/dram"
-	"quest/internal/isa"
 	"quest/internal/jj"
 	"quest/internal/mc"
 	"quest/internal/metrics"
@@ -473,64 +467,17 @@ func Threshold(rates []float64, distances []int, trials, workers int) []Threshol
 // are bit-identical with and without a registry: instruments only observe the
 // decode path, they never feed back into trial outcomes.
 func ThresholdIn(reg *metrics.Registry, rates []float64, distances []int, trials, workers int) []ThresholdRow {
-	var rows []ThresholdRow
-	for _, p := range rates {
-		for _, d := range distances {
-			res := logicalFailRate(reg, d, p, trials, workers)
-			rows = append(rows, ThresholdRow{
-				PhysRate: p,
-				Distance: d,
-				FailRate: res.Rate,
-				WilsonLo: res.WilsonLo,
-				WilsonHi: res.WilsonHi,
-				Trials:   trials,
-			})
-		}
-	}
-	return rows
+	return ThresholdObserved(reg, nil, rates, distances, trials, workers, SweepObs{})
 }
 
 // logicalFailRate runs `trials` independent noisy memory experiments at
 // distance d and physical rate p, decoding with a d-round window. The noise
 // model is noise.Uniform(p) — every location including preparation fails at
 // p, the paper's single-rate convention (an earlier version dropped the
-// Prep channel and under-reported failure rates; see CHANGES.md).
+// Prep channel and under-reported failure rates; see CHANGES.md). The body
+// lives in logicalFailRateObserved (observe.go) with all hooks nil-gated.
 func logicalFailRate(reg *metrics.Registry, d int, p float64, trials, workers int) mc.Result {
-	lat := surface.NewPlanar(d)
-	words := surface.CompileCycle(lat, surface.Steane, nil)
-	cell := mc.Seed(ExperimentSeed, mc.F64(p), uint64(d))
-	return mc.RunWith(trials, workers, cell, reg, func(trial int, seed uint64, shard *metrics.Registry) mc.Outcome {
-		tb := clifford.New(lat.NumQubits(), rand.New(rand.NewSource(int64(mc.Derive(seed, 0)))))
-		inj := noise.NewInjector(noise.Uniform(p), int64(mc.Derive(seed, 1)))
-		noisy := awg.New(tb, inj)
-		clean := awg.New(tb, nil)
-		run := func(u *awg.ExecutionUnit) map[int]int {
-			synd := make(map[int]int)
-			u.MeasSink = func(q, bit int) { synd[q] = bit }
-			for _, w := range words {
-				u.ExecuteWord(w)
-			}
-			return synd
-		}
-		hist := decoder.NewHistory(lat)
-		frame := decoder.NewPauliFrame()
-		win := decoder.NewWindowDecoder(decoder.NewGlobalDecoder(lat), d)
-		if shard != nil {
-			win.SetInstr(decoder.NewInstr(shard))
-		}
-		run(clean)
-		hist.Absorb(run(clean))
-		for round := 0; round < 4; round++ {
-			inj.SetLocation(round, 0)
-			win.Absorb(hist.Absorb(run(noisy)), frame)
-		}
-		win.Absorb(hist.Absorb(run(clean)), frame)
-		win.Flush(frame)
-		logZ := lat.LogicalZ()
-		raw := tb.MeasureObservable(nil, logZ)
-		want := 1 - 2*frame.ParityOn(logZ, true)
-		return mc.Outcome{Fail: raw != 0 && raw != want}
-	})
+	return logicalFailRateObserved(reg, nil, d, p, trials, workers, SweepObs{})
 }
 
 // MemoryRow is one operating point of the machine-level logical memory
@@ -563,50 +510,7 @@ func MachineMemory(physRate float64, rounds, trials, workers int) (MemoryRow, er
 // skips instrumentation). The row is bit-identical with and without a
 // registry.
 func MachineMemoryIn(reg *metrics.Registry, physRate float64, rounds, trials, workers int) (MemoryRow, error) {
-	cell := mc.Seed(ExperimentSeed, mc.F64(physRate), uint64(rounds), 0x3e3)
-	res := mc.RunWith(trials, workers, cell, reg, func(trial int, seed uint64, shard *metrics.Registry) mc.Outcome {
-		cfg := DefaultMachineConfig()
-		cfg.PatchesPerTile = 1
-		cfg.Seed = int64(seed)
-		cfg.DecodeWindow = cfg.Distance
-		cfg.Metrics = shard
-		if physRate > 0 {
-			nm := noise.Uniform(physRate)
-			cfg.Noise = &nm
-		}
-		m := NewMachine(cfg)
-		mm := m.Master()
-		mm.StepCycle()
-		if err := mm.Dispatch(0, isa.LogicalInstr{Op: isa.LPrep0, Target: 0}); err != nil {
-			return mc.Outcome{Err: err}
-		}
-		for c := 0; c < rounds; c++ {
-			mm.StepCycle()
-		}
-		if err := mm.Dispatch(0, isa.LogicalInstr{Op: isa.LMeasZ, Target: 0}); err != nil {
-			return mc.Outcome{Err: err}
-		}
-		reps, ok := mm.RunUntilDrained(rounds + 50)
-		if !ok {
-			return mc.Outcome{Err: fmt.Errorf("core: memory trial %d did not drain", trial)}
-		}
-		got := -1
-		for _, r := range reps {
-			for _, res := range r.Results {
-				got = res.Bit
-			}
-		}
-		return mc.Outcome{Fail: got != 0}
-	})
-	row := MemoryRow{
-		PhysRate: physRate,
-		Rounds:   rounds,
-		Failures: res.Failures,
-		WilsonLo: res.WilsonLo,
-		WilsonHi: res.WilsonHi,
-		Trials:   trials,
-	}
-	return row, res.Err
+	return MachineMemoryObserved(reg, nil, physRate, rounds, trials, workers, SweepObs{})
 }
 
 // SyndromeRow compares upstream decode traffic against downstream

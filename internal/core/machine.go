@@ -19,6 +19,7 @@ import (
 	"quest/internal/awg"
 	"quest/internal/compiler"
 	"quest/internal/distill"
+	"quest/internal/heatmap"
 	"quest/internal/isa"
 	"quest/internal/master"
 	"quest/internal/mce"
@@ -60,6 +61,11 @@ type MachineConfig struct {
 	// MCE tiles, the decoders and the network for Perfetto export (nil =
 	// tracing.Default, which is nil — tracing off — unless -trace set it).
 	Tracer *tracing.Tracer
+	// Heat, when non-nil, collects spatial decode statistics machine-wide:
+	// defect births (MCE syndrome histories) and matched-chain footprints
+	// (master global decoders), one collector per lattice shape. Nil — the
+	// default — keeps every decode path allocation-free.
+	Heat *heatmap.Set
 }
 
 // DefaultMachineConfig returns a small but fully functional machine: one
@@ -104,6 +110,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 			Metrics:    cfg.Metrics,
 			Tracer:     cfg.Tracer,
 			TileID:     i,
+			Heat:       cfg.Heat,
 		}))
 	}
 	return &Machine{
@@ -117,6 +124,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 			UseUnionFind:    cfg.UseUnionFind,
 			Metrics:         cfg.Metrics,
 			Tracer:          cfg.Tracer,
+			Heat:            cfg.Heat,
 		}, tiles),
 	}
 }

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quest/internal/awg"
+	"quest/internal/clifford"
+	"quest/internal/compiler"
+	"quest/internal/decoder"
+	"quest/internal/heatmap"
+	"quest/internal/isa"
+	"quest/internal/ledger"
+	"quest/internal/mc"
+	"quest/internal/metrics"
+	"quest/internal/noise"
+	"quest/internal/surface"
+	"quest/internal/tracing"
+)
+
+// SweepObs bundles the experiment-observability hooks a sweep driver wires
+// through the Monte-Carlo engine: a run ledger, spatial heat collection,
+// adaptive CI early stop, and a live progress sink. The zero value observes
+// nothing — Threshold/MachineMemory delegate here with it, so there is
+// exactly one sweep implementation.
+//
+// Everything written through these hooks is worker-count independent: the
+// ledger and the CI-stop decision are pure functions of trial-ordered
+// outcomes, and heat shards are per-trial and merged in trial order (pinned
+// by TestThresholdObservedLedgerDeterminism and friends). Only the Progress
+// stream reflects live completion order — it is display, not data.
+type SweepObs struct {
+	// Ledger receives one sampled record per trial and one summary per
+	// sweep cell. Nil disables the ledger.
+	Ledger *ledger.Writer
+	// Heat accumulates defect-birth and matched-chain statistics, one
+	// collector per lattice shape. Nil disables collection (and keeps the
+	// decode paths allocation-free).
+	Heat *heatmap.Set
+	// CIWidth > 0 stops each cell at the first trial-ordered prefix whose
+	// 95% Wilson interval is narrower than this (see mc.Observers.CIWidth);
+	// MinTrials floors the rule (0 = the engine default).
+	CIWidth   float64
+	MinTrials int
+	// Progress receives throttled per-cell progress snapshots. Nil
+	// disables the stream.
+	Progress func(cell string, p mc.Progress)
+}
+
+// observers assembles the engine-level hooks for one named sweep cell.
+func (s SweepObs) observers(cell string, heat *heatmap.Collector) mc.Observers {
+	obs := mc.Observers{CIWidth: s.CIWidth, MinTrials: s.MinTrials, Heat: heat}
+	if s.Progress != nil {
+		progress := s.Progress
+		obs.Progress = func(p mc.Progress) { progress(cell, p) }
+	}
+	if s.Ledger != nil {
+		lw := s.Ledger
+		obs.Sink = func(trial int, seed uint64, out mc.Outcome) {
+			lw.WriteTrial(ledger.Trial{
+				Cell: cell, Trial: trial, Seed: ledger.SeedString(seed),
+				Fail: out.Fail, Err: errString(out.Err),
+			})
+		}
+	}
+	return obs
+}
+
+// closeCell writes the cell's ledger summary after its pool drained.
+func (s SweepObs) closeCell(cell string, params map[string]float64, cellSeed uint64, budget int, res mc.Result) {
+	if s.Ledger == nil {
+		return
+	}
+	s.Ledger.WriteCell(ledger.Cell{
+		Cell:   cell,
+		Params: params,
+		Seed:   ledger.SeedString(cellSeed),
+		Budget: budget, Trials: res.Trials, Failures: res.Failures,
+		Rate: res.Rate, WilsonLo: res.WilsonLo, WilsonHi: res.WilsonHi,
+		CIStop:       s.CIWidth,
+		StoppedEarly: res.Trials < budget,
+		Err:          errString(res.Err),
+	})
+}
+
+// collector resolves the heat collector for a lattice shape, nil when heat
+// collection is off.
+func (s SweepObs) collector(rows, cols int) *heatmap.Collector {
+	if s.Heat == nil {
+		return nil
+	}
+	return s.Heat.Collector(heatmap.GridName(rows, cols), rows, cols)
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// ThresholdObserved is ThresholdIn with tracing and the SweepObs hooks:
+// per-cell ledger records, defect/matched-chain heatmaps, optional CI early
+// stop (rows then report the effective trial count) and live progress.
+// Rows remain bit-identical for any worker count, with or without
+// observation.
+func ThresholdObserved(reg *metrics.Registry, tr *tracing.Tracer, rates []float64, distances []int,
+	trials, workers int, obs SweepObs) []ThresholdRow {
+	var rows []ThresholdRow
+	for _, p := range rates {
+		for _, d := range distances {
+			res := logicalFailRateObserved(reg, tr, d, p, trials, workers, obs)
+			rows = append(rows, ThresholdRow{
+				PhysRate: p,
+				Distance: d,
+				FailRate: res.Rate,
+				WilsonLo: res.WilsonLo,
+				WilsonHi: res.WilsonHi,
+				Trials:   res.Trials,
+			})
+		}
+	}
+	return rows
+}
+
+// MachineMemoryObserved is MachineMemoryIn with tracing and the SweepObs
+// hooks wired through the full machine: each trial machine records defect
+// births (MCE histories) and matched chains (master decoders) into a
+// trial-private heat set, merged in trial order.
+func MachineMemoryObserved(reg *metrics.Registry, tr *tracing.Tracer, physRate float64,
+	rounds, trials, workers int, obs SweepObs) (MemoryRow, error) {
+	cell := mc.Seed(ExperimentSeed, mc.F64(physRate), uint64(rounds), 0x3e3)
+	name := fmt.Sprintf("memory p=%g rounds=%d", physRate, rounds)
+	// Every trial machine is shaped by DefaultMachineConfig with one patch
+	// per tile (see the trial body); resolve the shared parent collector
+	// for exactly that lattice.
+	base := DefaultMachineConfig()
+	lat := compiler.NewLayout(base.Distance, 1).Lat
+	heat := obs.collector(lat.Rows, lat.Cols)
+	mobs := obs.observers(name, heat)
+	res := mc.RunObserved(trials, workers, cell, reg, tr, mobs,
+		func(trial int, seed uint64, ctx mc.TrialCtx) mc.Outcome {
+			cfg := DefaultMachineConfig()
+			cfg.PatchesPerTile = 1
+			cfg.Seed = int64(seed)
+			cfg.DecodeWindow = cfg.Distance
+			cfg.Metrics = ctx.Shard
+			cfg.Tracer = ctx.Trace
+			// The machine records into a trial-private set; its (single)
+			// grid is folded into the trial's engine shard at the end, so
+			// the merged heatmap stays worker-count independent.
+			var hs *heatmap.Set
+			if ctx.Heat != nil {
+				hs = heatmap.NewSet()
+				cfg.Heat = hs
+			}
+			if physRate > 0 {
+				nm := noise.Uniform(physRate)
+				cfg.Noise = &nm
+			}
+			m := NewMachine(cfg)
+			mm := m.Master()
+			mm.StepCycle()
+			if err := mm.Dispatch(0, isa.LogicalInstr{Op: isa.LPrep0, Target: 0}); err != nil {
+				return mc.Outcome{Err: err}
+			}
+			for c := 0; c < rounds; c++ {
+				mm.StepCycle()
+			}
+			if err := mm.Dispatch(0, isa.LogicalInstr{Op: isa.LMeasZ, Target: 0}); err != nil {
+				return mc.Outcome{Err: err}
+			}
+			reps, ok := mm.RunUntilDrained(rounds + 50)
+			if !ok {
+				return mc.Outcome{Err: fmt.Errorf("core: memory trial %d did not drain", trial)}
+			}
+			got := -1
+			for _, r := range reps {
+				for _, res := range r.Results {
+					got = res.Bit
+				}
+			}
+			if hs != nil {
+				ctx.Heat.Merge(hs.Collector(heatmap.GridName(lat.Rows, lat.Cols), lat.Rows, lat.Cols))
+			}
+			return mc.Outcome{Fail: got != 0}
+		})
+	obs.closeCell(name, map[string]float64{"p": physRate, "rounds": float64(rounds)}, cell, trials, res)
+	row := MemoryRow{
+		PhysRate: physRate,
+		Rounds:   rounds,
+		Failures: res.Failures,
+		WilsonLo: res.WilsonLo,
+		WilsonHi: res.WilsonHi,
+		Trials:   res.Trials,
+	}
+	return row, res.Err
+}
+
+// logicalFailRateObserved is the single implementation behind
+// logicalFailRate and ThresholdObserved: the windowed-decode memory
+// experiment with every observation hook nil-gated.
+func logicalFailRateObserved(reg *metrics.Registry, tr *tracing.Tracer, d int, p float64,
+	trials, workers int, obs SweepObs) mc.Result {
+	lat := surface.NewPlanar(d)
+	words := surface.CompileCycle(lat, surface.Steane, nil)
+	cell := mc.Seed(ExperimentSeed, mc.F64(p), uint64(d))
+	name := fmt.Sprintf("threshold p=%g d=%d", p, d)
+	heat := obs.collector(lat.Rows, lat.Cols)
+	mobs := obs.observers(name, heat)
+	res := mc.RunObserved(trials, workers, cell, reg, tr, mobs,
+		func(trial int, seed uint64, ctx mc.TrialCtx) mc.Outcome {
+			tb := clifford.New(lat.NumQubits(), rand.New(rand.NewSource(int64(mc.Derive(seed, 0)))))
+			inj := noise.NewInjector(noise.Uniform(p), int64(mc.Derive(seed, 1)))
+			noisy := awg.New(tb, inj)
+			clean := awg.New(tb, nil)
+			run := func(u *awg.ExecutionUnit) map[int]int {
+				synd := make(map[int]int)
+				u.MeasSink = func(q, bit int) { synd[q] = bit }
+				for _, w := range words {
+					u.ExecuteWord(w)
+				}
+				return synd
+			}
+			hist := decoder.NewHistory(lat)
+			frame := decoder.NewPauliFrame()
+			win := decoder.NewWindowDecoder(decoder.NewGlobalDecoder(lat), d)
+			if ctx.Shard != nil {
+				win.SetInstr(decoder.NewInstr(ctx.Shard))
+			}
+			if ctx.Trace != nil {
+				win.SetTracer(ctx.Trace, 0)
+			}
+			if ctx.Heat != nil {
+				hist.SetHeat(ctx.Heat)
+				win.SetHeat(ctx.Heat)
+			}
+			run(clean)
+			hist.Absorb(run(clean))
+			for round := 0; round < 4; round++ {
+				inj.SetLocation(round, 0)
+				win.Absorb(hist.Absorb(run(noisy)), frame)
+			}
+			win.Absorb(hist.Absorb(run(clean)), frame)
+			win.Flush(frame)
+			logZ := lat.LogicalZ()
+			raw := tb.MeasureObservable(nil, logZ)
+			want := 1 - 2*frame.ParityOn(logZ, true)
+			return mc.Outcome{Fail: raw != 0 && raw != want}
+		})
+	obs.closeCell(name, map[string]float64{"p": p, "d": float64(d)}, cell, trials, res)
+	return res
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"quest/internal/heatmap"
+	"quest/internal/ledger"
+	"quest/internal/mc"
+)
+
+// observedThreshold runs a small observed threshold sweep and returns the
+// rows, the raw ledger bytes and the heatmap JSON, all produced with the
+// given worker count.
+func observedThreshold(t *testing.T, workers int, ciWidth float64, trials int) ([]ThresholdRow, []byte, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	lw, err := ledger.NewWriter(&buf, "threshold-test", map[string]string{"suite": "observe_test"}, 1)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	heat := heatmap.NewSet()
+	rows := ThresholdObserved(nil, nil, []float64{2e-3, 4e-3}, []int{3}, trials, workers,
+		SweepObs{Ledger: lw, Heat: heat, CIWidth: ciWidth})
+	if err := lw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	var hj bytes.Buffer
+	if err := heat.WriteJSON(&hj); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return rows, buf.Bytes(), hj.Bytes()
+}
+
+// TestThresholdObservedLedgerDeterminism pins the headline acceptance
+// criterion: the ledger (and the heatmaps, and the rows) are byte-identical
+// for workers=1 and workers=8, with and without CI early stop.
+func TestThresholdObservedLedgerDeterminism(t *testing.T) {
+	for _, ciWidth := range []float64{0, 0.15} {
+		rows1, led1, heat1 := observedThreshold(t, 1, ciWidth, 120)
+		rows8, led8, heat8 := observedThreshold(t, 8, ciWidth, 120)
+		if !reflect.DeepEqual(rows1, rows8) {
+			t.Errorf("ciWidth=%v: rows differ across worker counts:\n1: %+v\n8: %+v", ciWidth, rows1, rows8)
+		}
+		if !bytes.Equal(led1, led8) {
+			t.Errorf("ciWidth=%v: ledger bytes differ across worker counts", ciWidth)
+		}
+		if !bytes.Equal(heat1, heat8) {
+			t.Errorf("ciWidth=%v: heatmap JSON differs across worker counts", ciWidth)
+		}
+		rep, err := ledger.Validate(led1)
+		if err != nil {
+			t.Fatalf("ciWidth=%v: ledgercheck rejects the sweep ledger: %v", ciWidth, err)
+		}
+		if rep.Cells != 2 {
+			t.Errorf("ciWidth=%v: ledger has %d cells, want 2", ciWidth, rep.Cells)
+		}
+	}
+}
+
+// TestThresholdObservedCIStopSavesTrials pins the point of adaptive stopping:
+// with a loose width at least one cell converges well before the budget, the
+// reported interval meets the requested width, and the estimate agrees with
+// the fixed-budget run on the trials both executed (they share per-trial
+// seeds, so the early-stop row is a strict prefix of the fixed run).
+func TestThresholdObservedCIStopSavesTrials(t *testing.T) {
+	const budget = 400
+	const width = 0.15
+	fixed := ThresholdObserved(nil, nil, []float64{2e-3}, []int{3}, budget, 4, SweepObs{})
+	stopped := ThresholdObserved(nil, nil, []float64{2e-3}, []int{3}, budget, 4, SweepObs{CIWidth: width})
+	f, s := fixed[0], stopped[0]
+	if s.Trials >= budget {
+		t.Fatalf("ci-stop ran the whole budget (%d trials); widen the test margin", s.Trials)
+	}
+	if got := s.WilsonHi - s.WilsonLo; got > width {
+		t.Errorf("stopped cell interval width %.4f exceeds requested %.4f", got, width)
+	}
+	if s.FailRate < f.WilsonLo-width || s.FailRate > f.WilsonHi+width {
+		t.Errorf("early-stop estimate %.4f far from fixed-budget %.4f [%.4f, %.4f]",
+			s.FailRate, f.FailRate, f.WilsonLo, f.WilsonHi)
+	}
+	if f.Trials != budget {
+		t.Errorf("fixed run reports %d trials, want the full budget %d", f.Trials, budget)
+	}
+}
+
+// TestThresholdObservedHeatContent sanity-checks what the heatmaps say for a
+// d=5 cell: defects were born, matching recorded endpoints, and the grid has
+// the lattice's shape.
+func TestThresholdObservedHeatContent(t *testing.T) {
+	heat := heatmap.NewSet()
+	ThresholdObserved(nil, nil, []float64{4e-3}, []int{5}, 40, 4, SweepObs{Heat: heat})
+	names := heat.Names()
+	if len(names) != 1 {
+		t.Fatalf("heat set has grids %v, want exactly one", names)
+	}
+	c := heat.Collector(names[0], 9, 9) // d=5 planar lattice is 9×9
+	if c.TotalDefects() == 0 {
+		t.Error("no defect births recorded at p=4e-3")
+	}
+	if c.Pairs()+c.Boundary() == 0 {
+		t.Error("no matches recorded at p=4e-3")
+	}
+}
+
+// TestThresholdObservedProgressStream pins the progress plumbing end to end:
+// cell-labelled snapshots arrive for every sweep cell and each cell ends
+// with a Done snapshot matching its row.
+func TestThresholdObservedProgressStream(t *testing.T) {
+	finals := map[string]mc.Progress{}
+	rows := ThresholdObserved(nil, nil, []float64{2e-3, 4e-3}, []int{3}, 60, 4,
+		SweepObs{Progress: func(cell string, p mc.Progress) {
+			if p.Done {
+				finals[cell] = p
+			}
+		}})
+	if len(finals) != len(rows) {
+		t.Fatalf("Done snapshots for %d cells, want %d", len(finals), len(rows))
+	}
+	for cell, p := range finals {
+		if p.Completed != 60 {
+			t.Errorf("%s: final Completed = %d, want 60", cell, p.Completed)
+		}
+	}
+}
+
+// TestMachineMemoryObservedDeterminism runs the machine-level experiment with
+// the full observer bundle and pins worker-count independence of the row,
+// ledger and heat.
+func TestMachineMemoryObservedDeterminism(t *testing.T) {
+	runAt := func(workers int) (MemoryRow, []byte, []byte) {
+		var buf bytes.Buffer
+		lw, err := ledger.NewWriter(&buf, "memory-test", nil, 1)
+		if err != nil {
+			t.Fatalf("NewWriter: %v", err)
+		}
+		heat := heatmap.NewSet()
+		row, err := MachineMemoryObserved(nil, nil, 2e-3, 6, 10, workers,
+			SweepObs{Ledger: lw, Heat: heat})
+		if err != nil {
+			t.Fatalf("MachineMemoryObserved: %v", err)
+		}
+		if err := lw.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		var hj bytes.Buffer
+		if err := heat.WriteJSON(&hj); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return row, buf.Bytes(), hj.Bytes()
+	}
+	row1, led1, heat1 := runAt(1)
+	row4, led4, heat4 := runAt(4)
+	if row1 != row4 {
+		t.Errorf("rows differ across worker counts:\n1: %+v\n4: %+v", row1, row4)
+	}
+	if !bytes.Equal(led1, led4) {
+		t.Errorf("ledger bytes differ across worker counts")
+	}
+	if !bytes.Equal(heat1, heat4) {
+		t.Errorf("heatmap JSON differs across worker counts")
+	}
+	if _, err := ledger.Validate(led1); err != nil {
+		t.Errorf("ledgercheck rejects the memory ledger: %v", err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math/bits"
 	"time"
 
+	"quest/internal/heatmap"
 	"quest/internal/surface"
 )
 
@@ -41,6 +42,7 @@ type SyndromeHistory struct {
 	lat   surface.Lattice
 	prev  []int8 // -1 = unknown, else last observed bit
 	round int
+	heat  *heatmap.Collector // nil unless SetHeat bound one
 }
 
 // NewHistory returns an empty history for the lattice.
@@ -76,6 +78,9 @@ func (h *SyndromeHistory) Absorb(synd map[int]int) []Defect {
 				C:     c,
 				IsX:   h.lat.RoleOf(q) == surface.RoleAncillaX,
 			})
+			if h.heat != nil {
+				h.heat.Defect(r, c)
+			}
 		}
 		h.prev[q] = int8(bit)
 	}
@@ -380,6 +385,7 @@ type GlobalDecoder struct {
 	TimeWeight, SpaceWeight int
 
 	instr *Instr
+	heat  *heatmap.Collector // nil unless SetHeat bound one
 
 	// Scratch buffers reused across calls (see type comment).
 	dpBuf, choiceBuf []int32
@@ -469,6 +475,9 @@ func (g *GlobalDecoder) Match(defects []Defect) Matching {
 	g.instr.matchCalls.Inc()
 	g.instr.matchDefects.Add(uint64(len(defects)))
 	g.instr.matchNs.Observe(float64(time.Since(start)))
+	if g.heat != nil {
+		recordMatching(g.heat, g.lat, defects, m)
+	}
 	return m
 }
 

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"quest/internal/heatmap"
 	"quest/internal/surface"
 )
 
@@ -16,7 +17,8 @@ import (
 // master-controller budget the paper allots to global decoding — the
 // BenchmarkAblationUnionFind bench quantifies the trade.
 type UnionFindDecoder struct {
-	lat surface.Lattice
+	lat  surface.Lattice
+	heat *heatmap.Collector // nil unless SetHeat bound one
 }
 
 // NewUnionFindDecoder returns a decoder for the lattice.
@@ -197,6 +199,9 @@ func (d *UnionFindDecoder) Match(defects []Defect) Matching {
 				m.Weight += boundaryDistance(d.lat, defects[members[a]])
 			}
 		}
+	}
+	if d.heat != nil {
+		recordMatching(d.heat, d.lat, defects, m)
 	}
 	return m
 }

@@ -1,0 +1,182 @@
+// Package ledger is the experiment run ledger: a streaming JSONL record of
+// what a statistical experiment actually ran — full provenance up front,
+// then one (optionally sampled) record per trial and one summary record per
+// sweep cell, each carrying the exact seeds needed to replay it. The paper's
+// figures are Monte-Carlo estimates; a figure nobody can re-derive from its
+// seeds is a screenshot, not a result, so the ledger makes every cell of a
+// sweep independently reproducible (`questbench` docs show the replay
+// recipe).
+//
+// Determinism contract: records carry only quantities that are pure
+// functions of trial-ordered outcomes (seeds, params, counts, intervals) —
+// never wall-clock, worker count, or scheduling artifacts — and trial
+// records are emitted in trial order from the engine's trial-indexed
+// outcome store. The same run is therefore byte-identical for any -workers
+// value (pinned by core's TestThresholdObservedLedgerDeterminism), the same
+// invariant mc.Run guarantees for its Result and tracing guarantees for its
+// exported event stream.
+package ledger
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+)
+
+// Schema identifies the JSONL layout; bump on incompatible change.
+const Schema = "quest-ledger/1"
+
+// Record kinds, carried in every line's "record" field.
+const (
+	KindHeader = "header"
+	KindTrial  = "trial"
+	KindCell   = "cell"
+)
+
+// Header is the first line of every ledger: schema plus the provenance
+// needed to judge comparability and replay the run. It deliberately omits
+// the worker count — parallelism must not change the ledger's bytes.
+type Header struct {
+	Record     string            `json:"record"`
+	Schema     string            `json:"schema"`
+	Experiment string            `json:"experiment"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Host       string            `json:"host"`
+	GitSHA     string            `json:"git_sha"`
+	Config     map[string]string `json:"config,omitempty"`
+}
+
+// Trial is one sampled trial record. Seed is the trial's full derived seed
+// in hex — with the cell seed it is everything needed to replay the trial.
+type Trial struct {
+	Record string `json:"record"`
+	Cell   string `json:"cell"`
+	Trial  int    `json:"trial"`
+	Seed   string `json:"seed"`
+	Fail   bool   `json:"fail"`
+	Err    string `json:"err,omitempty"`
+}
+
+// Cell summarizes one sweep cell after its trials drain. Budget is the
+// requested trial count; Trials is what actually ran (fewer under -ci-stop).
+type Cell struct {
+	Record   string             `json:"record"`
+	Cell     string             `json:"cell"`
+	Params   map[string]float64 `json:"params,omitempty"`
+	Seed     string             `json:"seed"`
+	Budget   int                `json:"budget"`
+	Trials   int                `json:"trials"`
+	Failures int                `json:"failures"`
+	Rate     float64            `json:"rate"`
+	WilsonLo float64            `json:"wilson_lo"`
+	WilsonHi float64            `json:"wilson_hi"`
+	// CIStop is the requested Wilson-width stop target (0 = fixed budget);
+	// StoppedEarly reports whether the cell converged before its budget.
+	CIStop       float64 `json:"ci_stop,omitempty"`
+	StoppedEarly bool    `json:"stopped_early,omitempty"`
+	Err          string  `json:"err,omitempty"`
+}
+
+// SeedString renders a seed the way the ledger stores it.
+func SeedString(seed uint64) string { return fmt.Sprintf("0x%016x", seed) }
+
+// Writer streams ledger records as JSONL. Not concurrency-safe: the sweep
+// drivers write from the sweep loop, after each cell's worker pool has
+// drained.
+type Writer struct {
+	bw *bufio.Writer
+	// SampleEvery keeps every n-th trial record (1 = all, 0 treated as 1);
+	// cell and header records are never sampled away.
+	sampleEvery int
+	cells       int
+	trials      int
+}
+
+// NewWriter writes the header line and returns a streaming writer.
+// sampleEvery thins trial records (1 keeps every trial); config is the
+// caller's flag/parameter provenance, copied into the header verbatim.
+func NewWriter(w io.Writer, experiment string, config map[string]string, sampleEvery int) (*Writer, error) {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	lw := &Writer{bw: bufio.NewWriter(w), sampleEvery: sampleEvery}
+	host, _ := os.Hostname()
+	h := Header{
+		Record:     KindHeader,
+		Schema:     Schema,
+		Experiment: experiment,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       host,
+		GitSHA:     gitSHA(),
+		Config:     config,
+	}
+	if err := lw.line(h); err != nil {
+		return nil, err
+	}
+	return lw, nil
+}
+
+// WriteTrial emits a trial record, honoring the sampling stride (trial
+// indices 0, n, 2n, ... are kept, so index 0 is always present).
+func (w *Writer) WriteTrial(t Trial) error {
+	if t.Trial%w.sampleEvery != 0 {
+		return nil
+	}
+	t.Record = KindTrial
+	w.trials++
+	return w.line(t)
+}
+
+// WriteCell emits a cell summary record.
+func (w *Writer) WriteCell(c Cell) error {
+	c.Record = KindCell
+	w.cells++
+	return w.line(c)
+}
+
+// Cells and Trials report how many records of each kind were written.
+func (w *Writer) Cells() int  { return w.cells }
+func (w *Writer) Trials() int { return w.trials }
+
+// Flush drains the buffer to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+func (w *Writer) line(v any) error {
+	// json.Marshal (not an Encoder per record) so a line is exactly one
+	// record with no trailing spaces; map keys marshal sorted, keeping
+	// params byte-deterministic.
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	if _, err := w.bw.Write(b); err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	if err := w.bw.WriteByte('\n'); err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	return nil
+}
+
+// gitSHA extracts the vcs revision stamped into the binary, "unknown" when
+// built without VCS metadata (go test, detached builds).
+func gitSHA() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}

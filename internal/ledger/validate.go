@@ -1,0 +1,156 @@
+package ledger
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// ValidateReport summarizes a validated ledger.
+type ValidateReport struct {
+	Experiment string
+	Cells      int
+	Trials     int
+	// StoppedEarly counts cells that converged before their trial budget.
+	StoppedEarly int
+}
+
+// Validate checks a JSONL ledger as written by Writer: exactly one header
+// line first (correct schema), every line a known record kind, seeds
+// parseable, per-cell counts self-consistent (failures ≤ trials ≤ budget,
+// rate = failures/trials, Wilson interval brackets the rate), every trial
+// record preceding its cell's summary, and no trial referencing a cell that
+// never summarizes. CI's ledger-smoke step runs this over a freshly
+// generated ledger so a schema regression fails the build.
+func Validate(data []byte) (ValidateReport, error) {
+	var rep ValidateReport
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	sawHeader := false
+	trialsByCell := map[string]int{} // trial records seen, awaiting a cell summary
+	closedCells := map[string]bool{}
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			return rep, fmt.Errorf("line %d: empty line", lineNo)
+		}
+		var kind struct {
+			Record string `json:"record"`
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			return rep, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if !sawHeader {
+			if kind.Record != KindHeader {
+				return rep, fmt.Errorf("line %d: first record is %q, want %q", lineNo, kind.Record, KindHeader)
+			}
+		}
+		switch kind.Record {
+		case KindHeader:
+			if sawHeader {
+				return rep, fmt.Errorf("line %d: duplicate header", lineNo)
+			}
+			var h Header
+			if err := json.Unmarshal(line, &h); err != nil {
+				return rep, fmt.Errorf("line %d: header: %w", lineNo, err)
+			}
+			if h.Schema != Schema {
+				return rep, fmt.Errorf("line %d: schema %q, want %q", lineNo, h.Schema, Schema)
+			}
+			if h.Experiment == "" {
+				return rep, fmt.Errorf("line %d: header missing experiment name", lineNo)
+			}
+			rep.Experiment = h.Experiment
+			sawHeader = true
+		case KindTrial:
+			var t Trial
+			if err := json.Unmarshal(line, &t); err != nil {
+				return rep, fmt.Errorf("line %d: trial: %w", lineNo, err)
+			}
+			if t.Cell == "" {
+				return rep, fmt.Errorf("line %d: trial record missing cell name", lineNo)
+			}
+			if closedCells[t.Cell] {
+				return rep, fmt.Errorf("line %d: trial for cell %q after its summary", lineNo, t.Cell)
+			}
+			if t.Trial < 0 {
+				return rep, fmt.Errorf("line %d: negative trial index %d", lineNo, t.Trial)
+			}
+			if err := checkSeed(t.Seed); err != nil {
+				return rep, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			trialsByCell[t.Cell]++
+			rep.Trials++
+		case KindCell:
+			var c Cell
+			if err := json.Unmarshal(line, &c); err != nil {
+				return rep, fmt.Errorf("line %d: cell: %w", lineNo, err)
+			}
+			if c.Cell == "" {
+				return rep, fmt.Errorf("line %d: cell record missing name", lineNo)
+			}
+			if closedCells[c.Cell] {
+				return rep, fmt.Errorf("line %d: duplicate cell summary %q", lineNo, c.Cell)
+			}
+			if err := checkSeed(c.Seed); err != nil {
+				return rep, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if c.Failures < 0 || c.Failures > c.Trials {
+				return rep, fmt.Errorf("line %d: cell %q: failures %d outside [0, %d]", lineNo, c.Cell, c.Failures, c.Trials)
+			}
+			if c.Trials > c.Budget {
+				return rep, fmt.Errorf("line %d: cell %q: trials %d exceed budget %d", lineNo, c.Cell, c.Trials, c.Budget)
+			}
+			if c.Trials > 0 {
+				want := float64(c.Failures) / float64(c.Trials)
+				if math.Abs(c.Rate-want) > 1e-12 {
+					return rep, fmt.Errorf("line %d: cell %q: rate %v != failures/trials %v", lineNo, c.Cell, c.Rate, want)
+				}
+			}
+			// The Wilson bounds are computed in floating point: at zero
+			// failures the lower bound lands a few ulps above 0, so the
+			// bracket check needs the same kind of tolerance as the rate.
+			if !(c.WilsonLo-1e-12 <= c.Rate && c.Rate <= c.WilsonHi+1e-12) {
+				return rep, fmt.Errorf("line %d: cell %q: rate %v outside Wilson [%v, %v]",
+					lineNo, c.Cell, c.Rate, c.WilsonLo, c.WilsonHi)
+			}
+			if n := trialsByCell[c.Cell]; n > c.Trials {
+				return rep, fmt.Errorf("line %d: cell %q: %d trial records exceed summarized trials %d", lineNo, c.Cell, n, c.Trials)
+			}
+			delete(trialsByCell, c.Cell)
+			closedCells[c.Cell] = true
+			if c.StoppedEarly {
+				rep.StoppedEarly++
+			}
+			rep.Cells++
+		default:
+			return rep, fmt.Errorf("line %d: unknown record kind %q", lineNo, kind.Record)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	if !sawHeader {
+		return rep, fmt.Errorf("ledger is empty")
+	}
+	for cell := range trialsByCell {
+		return rep, fmt.Errorf("trial records for cell %q have no cell summary", cell)
+	}
+	return rep, nil
+}
+
+// checkSeed verifies a SeedString round-trips as a 64-bit hex literal.
+func checkSeed(s string) error {
+	if len(s) < 3 || s[0] != '0' || (s[1] != 'x' && s[1] != 'X') {
+		return fmt.Errorf("seed %q is not a hex literal", s)
+	}
+	if _, err := strconv.ParseUint(s[2:], 16, 64); err != nil {
+		return fmt.Errorf("seed %q: %w", s, err)
+	}
+	return nil
+}

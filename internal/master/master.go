@@ -17,6 +17,7 @@ import (
 	"quest/internal/bandwidth"
 	"quest/internal/decoder"
 	"quest/internal/distill"
+	"quest/internal/heatmap"
 	"quest/internal/isa"
 	"quest/internal/mce"
 	"quest/internal/metrics"
@@ -61,6 +62,11 @@ type Config struct {
 	// export; it is also handed to the per-tile window decoders and the mesh.
 	// Nil falls back to tracing.Default (nil = tracing off).
 	Tracer *tracing.Tracer
+	// Heat, when non-nil, records every global matching's spatial footprint
+	// (matched-chain endpoints and lengths) into a per-lattice-shape
+	// collector, complementing the defect births the MCE histories record.
+	// Nil (the default) keeps the decode path allocation-free.
+	Heat *heatmap.Set
 }
 
 // masterInstr bundles the controller's instruments.
@@ -150,6 +156,12 @@ func New(cfg Config, tiles []*mce.MCE) *Master {
 			g = decoder.NewUnionFindDecoder(t.Layout().Lat)
 		} else {
 			g = decoder.NewGlobalDecoder(t.Layout().Lat)
+		}
+		if cfg.Heat != nil {
+			lat := t.Layout().Lat
+			if hs, ok := g.(interface{ SetHeat(*heatmap.Collector) }); ok {
+				hs.SetHeat(cfg.Heat.Collector(heatmap.GridName(lat.Rows, lat.Cols), lat.Rows, lat.Cols))
+			}
 		}
 		m.global = append(m.global, g)
 		if cfg.DecodeWindow > 1 {

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"quest/internal/heatmap"
 	"quest/internal/metrics"
 	"quest/internal/tracing"
 )
@@ -122,9 +123,9 @@ func Wilson(failures, trials int, z float64) (lo, hi float64) {
 // compiled lattice, a syndrome schedule — are fine). Under those rules the
 // Result is bit-identical for every worker count.
 //
-// A streaming failure counter is kept while trials complete (completed
-// trials are monotonic, and addition commutes), but the error, if any, is
-// selected by trial order, not completion order.
+// Failure counts and the error, if any, are reduced over the trial-indexed
+// outcome store in trial order after the pool drains, never in completion
+// order.
 func Run(trials, workers int, cellSeed uint64, fn func(trial int, seed uint64) Outcome) Result {
 	return RunWith(trials, workers, cellSeed, nil,
 		func(trial int, seed uint64, _ *metrics.Registry) Outcome {
@@ -146,7 +147,82 @@ func Run(trials, workers int, cellSeed uint64, fn func(trial int, seed uint64) O
 // instruments observe the computation, they never feed back into it.
 func RunWith(trials, workers int, cellSeed uint64, reg *metrics.Registry,
 	fn func(trial int, seed uint64, shard *metrics.Registry) Outcome) Result {
-	return run(trials, workers, cellSeed, reg, nil, fn, nil)
+	return run(trials, workers, cellSeed, reg, nil, Observers{}, fn, nil, nil)
+}
+
+// Progress is a snapshot handed to a progress sink while a run is in
+// flight. Completed and Failures count in completion order (display only —
+// they may differ between runs with different worker counts until the pool
+// drains); the Wilson interval is computed over exactly those counts. The
+// final call of a run carries Done=true and the trial-order-exact Result
+// numbers.
+type Progress struct {
+	Completed          int
+	Failures           int
+	WilsonLo, WilsonHi float64
+	Done               bool
+}
+
+// TrialCtx carries the per-trial observation hooks into an observed trial
+// function. Any field may be nil when the corresponding observer is off;
+// all three are nil-gated, so fn records unconditionally.
+type TrialCtx struct {
+	// Shard is the worker-private metrics registry (nil when metrics off).
+	Shard *metrics.Registry
+	// Trace is the worker-private tracer shard (nil when tracing off).
+	Trace *tracing.Tracer
+	// Heat is the trial-private heatmap shard (nil when heatmaps off).
+	// Trial-private rather than worker-private so the merged heatmap stays
+	// byte-identical for any worker count even under CI early stop, where
+	// different worker counts execute different overrun trials.
+	Heat *heatmap.Collector
+}
+
+// Observers bundles the optional observation hooks of RunObserved. The zero
+// value observes nothing and adds nothing to the hot path.
+type Observers struct {
+	// Progress, when non-nil, is called every ProgressEvery completed
+	// trials (default trials/100, min 1) and once more with Done=true
+	// after the pool drains. Calls are serialized but may come from worker
+	// goroutines; keep the sink fast.
+	Progress      func(Progress)
+	ProgressEvery int
+
+	// CIWidth > 0 enables adaptive early stop: the run ends at the first
+	// trial count n ≥ MinTrials (default 10) whose prefix of trial-ordered
+	// outcomes has a 95% Wilson interval no wider than CIWidth. The stop
+	// decision is a pure function of trial-ordered outcomes — a frontier
+	// over consecutive completed trials, never completion order — so the
+	// effective trial count, Result and ledger are identical for any
+	// worker count. Workers may execute a few trials beyond the stop
+	// point before observing it; those outcomes are discarded from the
+	// Result (but metrics/tracing shards, which observe execution, still
+	// see them).
+	CIWidth   float64
+	MinTrials int
+
+	// Heat, when non-nil, gives every trial a private shard (Heat.NewShard)
+	// via TrialCtx; shards of the effective trials are merged into Heat in
+	// trial order after the pool drains.
+	Heat *heatmap.Collector
+
+	// Sink, when non-nil, receives every effective trial's outcome in
+	// trial order after the pool drains — the ledger writer's feed. It
+	// runs on the caller's goroutine.
+	Sink func(trial int, seed uint64, out Outcome)
+}
+
+// defaultMinStopTrials floors the CI-stop rule: Wilson intervals over a
+// handful of trials are wide but not infinitely so, and stopping a cell on
+// three lucky trials would be statistics malpractice.
+const defaultMinStopTrials = 10
+
+// RunObserved is RunTraced plus the Observers hooks: live progress,
+// adaptive CI early stop, per-trial heatmap shards and a trial-order
+// outcome sink. A zero Observers makes it equivalent to RunTraced.
+func RunObserved(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracing.Tracer,
+	obs Observers, fn func(trial int, seed uint64, ctx TrialCtx) Outcome) Result {
+	return run(trials, workers, cellSeed, reg, tr, obs, nil, nil, fn)
 }
 
 // RunTraced is RunWith with per-worker *tracing* shards as well: when tr is
@@ -161,18 +237,121 @@ func RunWith(trials, workers int, cellSeed uint64, reg *metrics.Registry,
 // tracing method treats as off.
 func RunTraced(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracing.Tracer,
 	fn func(trial int, seed uint64, shard *metrics.Registry, trace *tracing.Tracer) Outcome) Result {
-	return run(trials, workers, cellSeed, reg, tr, nil, fn)
+	return run(trials, workers, cellSeed, reg, tr, Observers{}, nil, fn, nil)
 }
 
-// run is the single pool implementation behind Run/RunWith/RunTraced. Exactly
-// one of fn (metrics-only) and tfn (metrics+tracing) is non-nil; taking both
-// callback shapes as plain parameters — instead of adapting one into the
-// other — keeps the untraced RunWith path free of wrapper-closure
-// allocations, which the committed benchmark baseline counts exactly
-// (threshold-cell-d3 allocs/op).
-func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracing.Tracer,
+// stopState is the CI-convergence early-stop tracker. Workers report each
+// finished trial; under the mutex a frontier advances over *consecutive*
+// completed trials in trial order, maintaining the prefix failure count, and
+// the stop rule fires at the first frontier position n ≥ minTrials whose
+// Wilson interval is narrower than width. Because the frontier only ever
+// consumes trial-ordered prefixes, the decision is a pure function of
+// trial-ordered outcomes — completion order and worker count cannot change
+// it.
+type stopState struct {
+	// stopAt bounds trial claiming: the trial budget until the frontier
+	// fires, then the effective trial count. Read lock-free by workers.
+	stopAt      atomic.Int64
+	mu          sync.Mutex
+	width       float64
+	minTrials   int
+	done        []bool
+	fails       []bool
+	frontier    int
+	prefixFails int
+	stopped     bool
+	stopN       int
+}
+
+// newStopState builds the tracker, or returns nil when CI-stop is off.
+func newStopState(width float64, minTrials, trials int) *stopState {
+	if width <= 0 {
+		return nil
+	}
+	if minTrials <= 0 {
+		minTrials = defaultMinStopTrials
+	}
+	st := &stopState{
+		width: width, minTrials: minTrials,
+		done: make([]bool, trials), fails: make([]bool, trials),
+	}
+	st.stopAt.Store(int64(trials))
+	return st
+}
+
+// observe records trial t's outcome and advances the frontier; on stop it
+// publishes the bound through stopAt so workers cease claiming new trials.
+func (st *stopState) observe(t int, fail bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.stopped {
+		return
+	}
+	st.done[t] = true
+	st.fails[t] = fail
+	for st.frontier < len(st.done) && st.done[st.frontier] {
+		if st.fails[st.frontier] {
+			st.prefixFails++
+		}
+		st.frontier++
+		if n := st.frontier; n >= st.minTrials {
+			lo, hi := Wilson(st.prefixFails, n, 1.96)
+			if hi-lo <= st.width {
+				st.stopped = true
+				st.stopN = n
+				st.stopAt.Store(int64(n))
+				return
+			}
+		}
+	}
+}
+
+// progressState throttles and serializes the live-progress sink.
+type progressState struct {
+	mu        sync.Mutex
+	fn        func(Progress)
+	every     int
+	completed int
+	failures  int
+}
+
+// newProgressState builds the throttle, or returns nil when the sink is off.
+func newProgressState(fn func(Progress), every, trials int) *progressState {
+	if fn == nil {
+		return nil
+	}
+	if every <= 0 {
+		every = trials / 100
+		if every < 1 {
+			every = 1
+		}
+	}
+	return &progressState{fn: fn, every: every}
+}
+
+func (ps *progressState) observe(fail bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.completed++
+	if fail {
+		ps.failures++
+	}
+	if ps.completed%ps.every == 0 {
+		lo, hi := Wilson(ps.failures, ps.completed, 1.96)
+		ps.fn(Progress{Completed: ps.completed, Failures: ps.failures, WilsonLo: lo, WilsonHi: hi})
+	}
+}
+
+// run is the single pool implementation behind Run/RunWith/RunTraced/
+// RunObserved. Exactly one of fn (metrics-only), tfn (metrics+tracing) and
+// ofn (fully observed) is non-nil; taking the callback shapes as plain
+// parameters — instead of adapting one into the other — keeps the untraced
+// RunWith path free of wrapper-closure allocations, which the committed
+// benchmark baseline and TestRunWithAllocs count exactly.
+func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracing.Tracer, obs Observers,
 	fn func(trial int, seed uint64, shard *metrics.Registry) Outcome,
-	tfn func(trial int, seed uint64, shard *metrics.Registry, trace *tracing.Tracer) Outcome) Result {
+	tfn func(trial int, seed uint64, shard *metrics.Registry, trace *tracing.Tracer) Outcome,
+	ofn func(trial int, seed uint64, ctx TrialCtx) Outcome) Result {
 	if trials <= 0 {
 		return Result{}
 	}
@@ -184,7 +363,6 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 	}
 	outcomes := make([]Outcome, trials)
 	var next atomic.Int64
-	var failures atomic.Int64 // streaming counter; final value == trial-order count
 	var wg sync.WaitGroup
 	shards := make([]*metrics.Registry, workers)
 	// nil when tracing is off, and assigned exactly once so the goroutine
@@ -192,6 +370,14 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 	// allocation-identical to the pre-tracing engine, which the committed
 	// benchmark baseline counts exactly (threshold-cell-d3 allocs/op).
 	traces := makeTraceShards(tr, workers)
+	// Observer state is nil when the corresponding Observers field is off,
+	// and every local here is assigned exactly once so the goroutine
+	// closure captures plain values, not heap cells: the unobserved paths
+	// allocate nothing extra (pinned by TestRunWithAllocs).
+	st := newStopState(obs.CIWidth, obs.MinTrials, trials)
+	prog := newProgressState(obs.Progress, obs.ProgressEvery, trials)
+	heatParent := obs.Heat
+	heatShards := makeHeatShards(heatParent, trials)
 	busyNs := make([]int64, workers) // per-worker time spent inside fn
 	start := time.Now()
 	for w := 0; w < workers; w++ {
@@ -218,11 +404,22 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 				if t >= trials {
 					return
 				}
+				if st != nil && t >= int(st.stopAt.Load()) {
+					return
+				}
 				t0 := time.Now()
 				var out Outcome
-				if tfn != nil {
+				switch {
+				case ofn != nil:
+					var heat *heatmap.Collector
+					if heatShards != nil {
+						heat = heatParent.NewShard()
+						heatShards[t] = heat
+					}
+					out = ofn(t, TrialSeed(cellSeed, t), TrialCtx{Shard: shard, Trace: trace, Heat: heat})
+				case tfn != nil:
 					out = tfn(t, TrialSeed(cellSeed, t), shard, trace)
-				} else {
+				default:
 					out = fn(t, TrialSeed(cellSeed, t), shard)
 				}
 				busyNs[w] += int64(time.Since(t0))
@@ -234,8 +431,11 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 					}
 				}
 				outcomes[t] = out
-				if out.Fail {
-					failures.Add(1)
+				if st != nil {
+					st.observe(t, out.Fail)
+				}
+				if prog != nil {
+					prog.observe(out.Fail)
 				}
 			}
 		}(w)
@@ -247,12 +447,21 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 			tr.Merge(shard)
 		}
 	}
+	// effective is the trial-order prefix the Result covers: the whole
+	// budget, or the CI-stop point. Trials executed past the stop point by
+	// in-flight workers are discarded from the Result (and from the heat
+	// merge and sink below), which is what keeps everything derived from
+	// outcomes worker-count independent.
+	effective := trials
+	if st != nil && st.stopped {
+		effective = st.stopN
+	}
 	if reg != nil {
 		for _, shard := range shards {
 			reg.Merge(shard)
 		}
 		if elapsed > 0 {
-			reg.Gauge("mc.trials_per_sec").Set(float64(trials) / elapsed.Seconds())
+			reg.Gauge("mc.trials_per_sec").Set(float64(effective) / elapsed.Seconds())
 			var busy int64
 			for _, b := range busyNs {
 				busy += b
@@ -262,16 +471,45 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 		}
 		reg.Gauge("mc.workers").Set(float64(workers))
 	}
-	res := Result{Trials: trials, Failures: int(failures.Load())}
-	for _, out := range outcomes { // trial order: first error wins
-		if out.Err != nil {
+	res := Result{Trials: effective}
+	for _, out := range outcomes[:effective] {
+		if out.Fail {
+			res.Failures++
+		}
+		if out.Err != nil && res.Err == nil { // trial order: first error wins
 			res.Err = out.Err
-			break
 		}
 	}
-	res.Rate = float64(res.Failures) / float64(trials)
-	res.WilsonLo, res.WilsonHi = Wilson(res.Failures, trials, 1.96)
+	res.Rate = float64(res.Failures) / float64(effective)
+	res.WilsonLo, res.WilsonHi = Wilson(res.Failures, effective, 1.96)
+	if heatParent != nil {
+		for _, hs := range heatShards[:effective] {
+			heatParent.Merge(hs)
+		}
+	}
+	if obs.Sink != nil {
+		for t, out := range outcomes[:effective] {
+			obs.Sink(t, TrialSeed(cellSeed, t), out)
+		}
+	}
+	if prog != nil {
+		prog.mu.Lock() // pairs with worker emits; also makes -race happy
+		prog.fn(Progress{Completed: effective, Failures: res.Failures,
+			WilsonLo: res.WilsonLo, WilsonHi: res.WilsonHi, Done: true})
+		prog.mu.Unlock()
+	}
 	return res
+}
+
+// makeHeatShards builds the per-trial heat shard store, or returns nil when
+// heatmaps are off. Shards are per *trial*, not per worker: under CI early
+// stop different worker counts execute different overrun trials, and only a
+// trial-indexed store lets the merge discard exactly the overrun.
+func makeHeatShards(heat *heatmap.Collector, trials int) []*heatmap.Collector {
+	if heat == nil {
+		return nil
+	}
+	return make([]*heatmap.Collector, trials)
 }
 
 // makeTraceShards builds one private Tracer per worker, each sized like the

@@ -24,6 +24,7 @@ import (
 	"quest/internal/clifford"
 	"quest/internal/compiler"
 	"quest/internal/decoder"
+	"quest/internal/heatmap"
 	"quest/internal/isa"
 	"quest/internal/metrics"
 	"quest/internal/microcode"
@@ -96,6 +97,11 @@ type Config struct {
 	// TileID labels this engine's trace track (the master's tile index);
 	// purely observational.
 	TileID int
+	// Heat, when non-nil, records each defect the syndrome history births at
+	// its lattice site. Tiles resolve a collector per lattice shape, so
+	// same-shape tiles accumulate into one grid. Nil (the default) keeps
+	// defect extraction allocation-free.
+	Heat *heatmap.Set
 }
 
 // CycleReport summarizes one StepCycle.
@@ -212,6 +218,9 @@ func New(cfg Config) *MCE {
 	}
 	if cfg.Noise != nil {
 		m.inj = noise.NewInjector(*cfg.Noise, cfg.Seed+1)
+	}
+	if cfg.Heat != nil {
+		m.hist.SetHeat(cfg.Heat.Collector(heatmap.GridName(lat.Rows, lat.Cols), lat.Rows, lat.Cols))
 	}
 	// Mask everything outside the patches: the inter-patch gap columns are
 	// not part of any code and must not run syndrome extraction.

@@ -1,13 +1,22 @@
 // Package obsflags is the shared observability flag wiring for the
 // repository's binaries. cmd/questsim and cmd/questbench both expose the same
-// four flags — -metrics, -pprof, -trace, -trace-buf — and this package keeps
-// their semantics identical instead of letting two hand-rolled copies drift:
+// flags and this package keeps their semantics identical instead of letting
+// two hand-rolled copies drift:
 //
 //	-metrics text|json   dump the default metrics registry to stderr at exit
 //	-pprof ADDR          serve net/http/pprof AND Prometheus /metrics on ADDR
 //	-trace FILE          record a cycle-correlated event trace and write it
 //	                     as Perfetto-loadable Chrome trace-event JSON
 //	-trace-buf N         trace ring capacity in events (0 = default 256k)
+//	-ledger FILE         stream a schema-versioned run ledger (JSONL): one
+//	                     provenance header, one record per trial, one summary
+//	                     per sweep cell (validate with tools/ledgercheck)
+//	-progress            render live sweep progress (Wilson CI) on Log
+//	-ci-stop W           stop each sweep cell once its 95% Wilson interval is
+//	                     narrower than W (0 < W < 1); deterministic for any
+//	                     worker count
+//	-heatmap FILE        accumulate spatial defect/matching heatmaps and write
+//	                     them as JSON (plus ASCII renders on Log) at exit
 //
 // Lifecycle: Register the flags before flag.Parse, Start after it (and before
 // the machine is built, so components resolving tracing.Default see the
@@ -23,6 +32,10 @@ import (
 	"net/http/pprof"
 	"os"
 
+	"quest/internal/chart"
+	"quest/internal/heatmap"
+	"quest/internal/ledger"
+	"quest/internal/mc"
 	"quest/internal/metrics"
 	"quest/internal/tracing"
 )
@@ -33,9 +46,17 @@ type Obs struct {
 	pprofAddr  *string
 	tracePath  *string
 	traceBuf   *int
+	ledgerPath *string
+	progress   *bool
+	ciStop     *float64
+	heatPath   *string
 
 	ln  net.Listener
 	srv *http.Server
+
+	ledgerFile *os.File
+	ledgerW    *ledger.Writer
+	heat       *heatmap.Set
 	// Log is where status lines and metric dumps go (default os.Stderr).
 	Log io.Writer
 }
@@ -51,6 +72,14 @@ func Register(fs *flag.FlagSet) *Obs {
 			"write a cycle-correlated Perfetto trace (Chrome trace-event JSON) to this file"),
 		traceBuf: fs.Int("trace-buf", 0,
 			fmt.Sprintf("trace ring capacity in events (0 = %d)", tracing.DefaultCapacity)),
+		ledgerPath: fs.String("ledger", "",
+			"stream a run ledger (JSONL: header, per-trial, per-cell records) to this file"),
+		progress: fs.Bool("progress", false,
+			"render live sweep progress with Wilson confidence intervals on stderr"),
+		ciStop: fs.Float64("ci-stop", 0,
+			"stop each sweep cell once its 95% Wilson interval is narrower than this width (0 = fixed budget)"),
+		heatPath: fs.String("heatmap", "",
+			"write spatial defect/matching heatmaps as JSON to this file at exit"),
 		Log: os.Stderr,
 	}
 }
@@ -76,6 +105,61 @@ func (o *Obs) ShardReg() *metrics.Registry {
 // Start.
 func (o *Obs) Tracer() *tracing.Tracer { return tracing.Default }
 
+// CIStop returns the -ci-stop width (0 = adaptive stopping off). Validated
+// by Start.
+func (o *Obs) CIStop() float64 { return *o.ciStop }
+
+// ProgressEnabled reports whether -progress was given (for binaries that
+// render their own non-sweep progress, e.g. questsim's idle cycles).
+func (o *Obs) ProgressEnabled() bool { return *o.progress }
+
+// HeatSet returns the process heat-collector set (nil when -heatmap is off,
+// which keeps the decode paths allocation-free). Valid after Start.
+func (o *Obs) HeatSet() *heatmap.Set { return o.heat }
+
+// OpenLedger creates the -ledger file and writes its provenance header; it
+// returns (nil, nil) when -ledger is off. Call once, after Start and before
+// the sweep; Finish flushes and closes the file. The experiment name and
+// config land in the header so a ledger is self-describing.
+func (o *Obs) OpenLedger(experiment string, config map[string]string) (*ledger.Writer, error) {
+	if *o.ledgerPath == "" {
+		return nil, nil
+	}
+	if o.ledgerW != nil {
+		return nil, fmt.Errorf("ledger: OpenLedger called twice")
+	}
+	f, err := os.Create(*o.ledgerPath)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	lw, err := ledger.NewWriter(f, experiment, config, 1)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	o.ledgerFile, o.ledgerW = f, lw
+	return lw, nil
+}
+
+// SweepProgress returns the cell-labelled live progress renderer for -progress
+// (nil when off). Snapshots overwrite one status line per cell on Log; the
+// Done snapshot finishes the line. The stream reflects live completion order
+// and is display only — ledger/heatmap/row contents stay deterministic.
+func (o *Obs) SweepProgress() func(cell string, p mc.Progress) {
+	if !*o.progress {
+		return nil
+	}
+	return func(cell string, p mc.Progress) {
+		if p.Done {
+			fmt.Fprintf(o.Log, "\r%s: %d trials, %d failures, CI [%.4f, %.4f] done\n",
+				cell, p.Completed, p.Failures, p.WilsonLo, p.WilsonHi)
+			return
+		}
+		fmt.Fprintf(o.Log, "\r%s: %d trials, %d failures, CI width %.4f",
+			cell, p.Completed, p.Failures, p.WilsonHi-p.WilsonLo)
+	}
+}
+
 // Addr returns the observability server's listen address ("" when -pprof is
 // off). Useful in tests, which pass -pprof 127.0.0.1:0.
 func (o *Obs) Addr() string {
@@ -93,8 +177,14 @@ func (o *Obs) Start() error {
 	default:
 		return fmt.Errorf("unknown -metrics format %q (want 'text' or 'json')", *o.metricsFmt)
 	}
+	if *o.ciStop < 0 || *o.ciStop >= 1 {
+		return fmt.Errorf("-ci-stop %v out of range: want a Wilson interval width in (0, 1), or 0 to disable", *o.ciStop)
+	}
 	if *o.tracePath != "" {
 		tracing.Default = tracing.New(*o.traceBuf)
+	}
+	if *o.heatPath != "" {
+		o.heat = heatmap.NewSet()
 	}
 	if *o.pprofAddr != "" {
 		ln, err := net.Listen("tcp", *o.pprofAddr)
@@ -121,7 +211,8 @@ func (o *Obs) Start() error {
 }
 
 // Finish flushes everything the flags asked for: the trace file (plus a
-// per-track busy/stall/idle summary on Log), the metrics dump, and the HTTP
+// per-track busy/stall/idle summary on Log), the ledger, the heatmap JSON
+// (plus ASCII defect-density renders on Log), the metrics dump, and the HTTP
 // server shutdown. Safe to call when nothing was enabled.
 func (o *Obs) Finish() error {
 	var firstErr error
@@ -129,6 +220,22 @@ func (o *Obs) Finish() error {
 		if err := o.writeTrace(); err != nil {
 			firstErr = err
 			fmt.Fprintln(o.Log, "trace:", err)
+		}
+	}
+	if o.ledgerW != nil {
+		if err := o.closeLedger(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			fmt.Fprintln(o.Log, "ledger:", err)
+		}
+	}
+	if o.heat != nil {
+		if err := o.writeHeat(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			fmt.Fprintln(o.Log, "heatmap:", err)
 		}
 	}
 	switch *o.metricsFmt {
@@ -149,6 +256,48 @@ func (o *Obs) Finish() error {
 		o.srv, o.ln = nil, nil
 	}
 	return firstErr
+}
+
+func (o *Obs) closeLedger() error {
+	lw, f := o.ledgerW, o.ledgerFile
+	o.ledgerW, o.ledgerFile = nil, nil
+	if err := lw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Log, "ledger: %d cell(s), %d trial record(s) written to %s (validate with ledgercheck)\n",
+		lw.Cells(), lw.Trials(), *o.ledgerPath)
+	return nil
+}
+
+func (o *Obs) writeHeat() error {
+	f, err := os.Create(*o.heatPath)
+	if err != nil {
+		return err
+	}
+	if err := o.heat.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Log, "heatmap: %d grid(s) written to %s\n", o.heat.Len(), *o.heatPath)
+	for _, name := range o.heat.Names() {
+		c := o.heat.Lookup(name)
+		render, err := chart.Heatmap(c.Defects(), chart.HeatmapOptions{
+			Title:  fmt.Sprintf("%s defect births (%d total)", name, c.TotalDefects()),
+			Legend: true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(o.Log, render)
+	}
+	return nil
 }
 
 func (o *Obs) writeTrace() error {

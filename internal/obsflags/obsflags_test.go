@@ -10,6 +10,9 @@ import (
 	"strings"
 	"testing"
 
+	"quest/internal/heatmap"
+	"quest/internal/ledger"
+	"quest/internal/mc"
 	"quest/internal/metrics"
 	"quest/internal/tracing"
 )
@@ -133,5 +136,114 @@ func TestShardRegNilWhenObservabilityOff(t *testing.T) {
 	}
 	if err := o.Finish(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStartRejectsBadCIStop(t *testing.T) {
+	defer resetDefaults()
+	for _, bad := range []string{"-0.1", "1", "1.5"} {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		o := Register(fs)
+		if err := fs.Parse([]string{"-ci-stop", bad}); err != nil {
+			t.Fatal(err)
+		}
+		err := o.Start()
+		if err == nil {
+			t.Errorf("Start accepted -ci-stop %s", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "ci-stop") {
+			t.Errorf("-ci-stop %s: error %q does not name the flag", bad, err)
+		}
+	}
+	// 0 (off) and in-range widths must pass.
+	for _, good := range []string{"0", "0.05", "0.999"} {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		o := Register(fs)
+		if err := fs.Parse([]string{"-ci-stop", good}); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Start(); err != nil {
+			t.Errorf("Start rejected -ci-stop %s: %v", good, err)
+		}
+	}
+}
+
+func TestLedgerAndHeatmapLifecycle(t *testing.T) {
+	defer resetDefaults()
+	dir := t.TempDir()
+	lpath := filepath.Join(dir, "run.jsonl")
+	hpath := filepath.Join(dir, "heat.json")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := Register(fs)
+	o.Log = io.Discard
+	if err := fs.Parse([]string{"-ledger", lpath, "-heatmap", hpath, "-ci-stop", "0.2", "-progress"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if o.CIStop() != 0.2 {
+		t.Errorf("CIStop() = %v, want 0.2", o.CIStop())
+	}
+	if o.SweepProgress() == nil {
+		t.Error("SweepProgress() = nil with -progress set")
+	}
+	lw, err := o.OpenLedger("lifecycle-test", map[string]string{"k": "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lw == nil {
+		t.Fatal("OpenLedger returned nil writer with -ledger set")
+	}
+	lw.WriteTrial(ledger.Trial{Cell: "c", Trial: 0, Seed: ledger.SeedString(7), Fail: true})
+	lw.WriteCell(ledger.Cell{Cell: "c", Seed: ledger.SeedString(7), Budget: 1, Trials: 1,
+		Failures: 1, Rate: 1, WilsonLo: 0.2, WilsonHi: 1})
+	heat := o.HeatSet()
+	if heat == nil {
+		t.Fatal("HeatSet() = nil with -heatmap set")
+	}
+	heat.Collector("lat-3x3", 3, 3).Defect(1, 1)
+	var log bytes.Buffer
+	o.Log = &log
+	if err := o.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(lpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ledger.Validate(data); err != nil {
+		t.Errorf("ledgercheck rejects the flag-driven ledger: %v", err)
+	}
+	hdata, err := os.ReadFile(hpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := heatmap.ReadFile(hdata); err != nil {
+		t.Errorf("heatmap file unreadable: %v", err)
+	}
+	for _, want := range []string{"ledger:", "heatmap:", "defect births"} {
+		if !strings.Contains(log.String(), want) {
+			t.Errorf("Finish log missing %q:\n%s", want, log.String())
+		}
+	}
+}
+
+func TestSweepProgressRenders(t *testing.T) {
+	defer resetDefaults()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := Register(fs)
+	var log bytes.Buffer
+	o.Log = &log
+	if err := fs.Parse([]string{"-progress"}); err != nil {
+		t.Fatal(err)
+	}
+	render := o.SweepProgress()
+	render("cell-a", mc.Progress{Completed: 10, Failures: 2, WilsonLo: 0.05, WilsonHi: 0.4})
+	render("cell-a", mc.Progress{Completed: 20, Failures: 3, WilsonLo: 0.05, WilsonHi: 0.3, Done: true})
+	out := log.String()
+	if !strings.Contains(out, "cell-a") || !strings.Contains(out, "done") {
+		t.Errorf("renderer output missing cell label or done marker: %q", out)
 	}
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"quest/internal/benchsuite"
+)
+
+// compare writes the case-by-case diff of cur against base to w and returns
+// the number of ns/op regressions beyond maxRegress. Allocation movement
+// (allocs/op, B/op) is advisory: growth prints a WARN line but never counts
+// as a regression. A schema mismatch is the only error.
+func compare(w io.Writer, base, cur benchsuite.Report, maxRegress float64) (int, error) {
+	if base.Schema != cur.Schema {
+		return 0, fmt.Errorf("schema mismatch: baseline %q vs current %q", base.Schema, cur.Schema)
+	}
+	baseBy := map[string]benchsuite.Result{}
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	regressions := 0
+	for _, c := range cur.Results {
+		b, ok := baseBy[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "NEW      %-28s %12.0f ns/op (no baseline)\n", c.Name, c.NsPerOp)
+			continue
+		}
+		delete(baseBy, c.Name)
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = c.NsPerOp/b.NsPerOp - 1
+		}
+		status := "ok"
+		if ratio > maxRegress {
+			status = "REGRESS"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-8s %-28s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+			status, c.Name, b.NsPerOp, c.NsPerOp, 100*ratio)
+		// Advisory only: surface allocation growth without failing the run.
+		if c.AllocsPerOp > b.AllocsPerOp {
+			fmt.Fprintf(w, "WARN     %-28s %12d -> %12d allocs/op\n", c.Name, b.AllocsPerOp, c.AllocsPerOp)
+		}
+		if c.BytesPerOp > b.BytesPerOp {
+			fmt.Fprintf(w, "WARN     %-28s %12d -> %12d B/op\n", c.Name, b.BytesPerOp, c.BytesPerOp)
+		}
+	}
+	gone := make([]string, 0, len(baseBy))
+	for name := range baseBy {
+		gone = append(gone, name)
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "GONE     %-28s (in baseline only)\n", name)
+	}
+	return regressions, nil
+}

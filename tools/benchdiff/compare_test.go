@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"quest/internal/benchsuite"
+)
+
+func report(results ...benchsuite.Result) benchsuite.Report {
+	return benchsuite.Report{Schema: benchsuite.Schema, Results: results}
+}
+
+func TestCompareFlatIsQuiet(t *testing.T) {
+	base := report(benchsuite.Result{Name: "decode", NsPerOp: 1000, AllocsPerOp: 5, BytesPerOp: 512})
+	var out bytes.Buffer
+	n, err := compare(&out, base, base, 0.30)
+	if err != nil || n != 0 {
+		t.Fatalf("compare = (%d, %v), want (0, nil)", n, err)
+	}
+	if strings.Contains(out.String(), "WARN") {
+		t.Errorf("flat report produced warnings:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("flat report missing ok line:\n%s", out.String())
+	}
+}
+
+func TestCompareWarnsOnAllocGrowth(t *testing.T) {
+	base := report(benchsuite.Result{Name: "decode", NsPerOp: 1000, AllocsPerOp: 5, BytesPerOp: 512})
+	cur := report(benchsuite.Result{Name: "decode", NsPerOp: 1000, AllocsPerOp: 9, BytesPerOp: 2048})
+	var out bytes.Buffer
+	n, err := compare(&out, base, cur, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocation growth is advisory: WARN lines for both axes, zero
+	// regressions, so the exit stays green.
+	if n != 0 {
+		t.Errorf("alloc growth counted as %d regression(s); must never hard-fail", n)
+	}
+	if !strings.Contains(out.String(), "allocs/op") {
+		t.Errorf("missing allocs/op WARN:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "B/op") {
+		t.Errorf("missing B/op WARN:\n%s", out.String())
+	}
+	if got := strings.Count(out.String(), "WARN"); got != 2 {
+		t.Errorf("%d WARN lines, want 2:\n%s", got, out.String())
+	}
+}
+
+func TestCompareNoWarnOnAllocShrink(t *testing.T) {
+	base := report(benchsuite.Result{Name: "decode", NsPerOp: 1000, AllocsPerOp: 9, BytesPerOp: 2048})
+	cur := report(benchsuite.Result{Name: "decode", NsPerOp: 1000, AllocsPerOp: 5, BytesPerOp: 512})
+	var out bytes.Buffer
+	if _, err := compare(&out, base, cur, 0.30); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "WARN") {
+		t.Errorf("allocation improvement produced warnings:\n%s", out.String())
+	}
+}
+
+func TestCompareNsRegressionFails(t *testing.T) {
+	base := report(
+		benchsuite.Result{Name: "decode", NsPerOp: 1000},
+		benchsuite.Result{Name: "machine", NsPerOp: 1000},
+	)
+	cur := report(
+		benchsuite.Result{Name: "decode", NsPerOp: 1400},  // +40% > 30% gate
+		benchsuite.Result{Name: "machine", NsPerOp: 1200}, // +20% ok
+	)
+	var out bytes.Buffer
+	n, err := compare(&out, base, cur, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("regressions = %d, want 1", n)
+	}
+	if !strings.Contains(out.String(), "REGRESS") {
+		t.Errorf("missing REGRESS line:\n%s", out.String())
+	}
+}
+
+func TestCompareNewAndGoneNeverFail(t *testing.T) {
+	base := report(benchsuite.Result{Name: "retired", NsPerOp: 1000, AllocsPerOp: 50})
+	cur := report(benchsuite.Result{Name: "fresh", NsPerOp: 9999, AllocsPerOp: 99})
+	var out bytes.Buffer
+	n, err := compare(&out, base, cur, 0.30)
+	if err != nil || n != 0 {
+		t.Fatalf("compare = (%d, %v), want (0, nil)", n, err)
+	}
+	if !strings.Contains(out.String(), "NEW") || !strings.Contains(out.String(), "GONE") {
+		t.Errorf("missing NEW/GONE lines:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "WARN") {
+		t.Errorf("unmatched cases produced alloc warnings:\n%s", out.String())
+	}
+}
+
+func TestCompareSchemaMismatch(t *testing.T) {
+	base := report()
+	cur := report()
+	cur.Schema = "quest-bench/0"
+	if _, err := compare(&bytes.Buffer{}, base, cur, 0.30); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}

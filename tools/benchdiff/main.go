@@ -1,6 +1,6 @@
 // Command benchdiff compares two benchsuite JSON reports (see
 // internal/benchsuite) and fails when a benchmark regressed beyond the
-// allowed ratio. CI runs it with the committed baseline (BENCH_PR2.json)
+// allowed ratio. CI runs it with the committed baseline (BENCH_PR4.json)
 // against a fresh report from `questbench -bench-json`, turning decoder and
 // machine-loop slowdowns into failing checks.
 //
@@ -24,7 +24,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"quest/internal/benchsuite"
 )
@@ -40,50 +39,10 @@ func main() {
 	}
 	base := readReport(flag.Arg(0))
 	cur := readReport(flag.Arg(1))
-	if base.Schema != cur.Schema {
-		fmt.Fprintf(os.Stderr, "benchdiff: schema mismatch: baseline %q vs current %q\n",
-			base.Schema, cur.Schema)
+	regressions, err := compare(os.Stdout, base, cur, *maxRegress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
-	}
-
-	baseBy := map[string]benchsuite.Result{}
-	for _, r := range base.Results {
-		baseBy[r.Name] = r
-	}
-	regressions := 0
-	for _, c := range cur.Results {
-		b, ok := baseBy[c.Name]
-		if !ok {
-			fmt.Printf("NEW      %-28s %12.0f ns/op (no baseline)\n", c.Name, c.NsPerOp)
-			continue
-		}
-		delete(baseBy, c.Name)
-		ratio := 0.0
-		if b.NsPerOp > 0 {
-			ratio = c.NsPerOp/b.NsPerOp - 1
-		}
-		status := "ok"
-		if ratio > *maxRegress {
-			status = "REGRESS"
-			regressions++
-		}
-		fmt.Printf("%-8s %-28s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
-			status, c.Name, b.NsPerOp, c.NsPerOp, 100*ratio)
-		// Advisory only: surface allocation growth without failing the run.
-		if c.AllocsPerOp > b.AllocsPerOp {
-			fmt.Printf("WARN     %-28s %12d -> %12d allocs/op\n", c.Name, b.AllocsPerOp, c.AllocsPerOp)
-		}
-		if c.BytesPerOp > b.BytesPerOp {
-			fmt.Printf("WARN     %-28s %12d -> %12d B/op\n", c.Name, b.BytesPerOp, c.BytesPerOp)
-		}
-	}
-	gone := make([]string, 0, len(baseBy))
-	for name := range baseBy {
-		gone = append(gone, name)
-	}
-	sort.Strings(gone)
-	for _, name := range gone {
-		fmt.Printf("GONE     %-28s (in baseline only)\n", name)
 	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d case(s) regressed beyond +%.0f%%\n",

@@ -1,0 +1,51 @@
+// Command ledgercheck validates an experiment ledger (JSONL) as emitted by
+// the -ledger flag of questbench/questsim: a single schema-versioned header
+// first, every subsequent line a trial or cell record, seeds parseable,
+// per-cell counts self-consistent, and every sampled trial matched by a cell
+// summary. CI's ledger-smoke step runs it over a freshly generated ledger so
+// a schema regression fails the build instead of silently producing files
+// nothing can replay.
+//
+// Usage:
+//
+//	ledgercheck [-min-cells N] [-min-trials N] run.ledger
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quest/internal/ledger"
+)
+
+func main() {
+	minCells := flag.Int("min-cells", 1, "fail unless the ledger carries at least this many cell summaries")
+	minTrials := flag.Int("min-trials", 0, "fail unless the ledger carries at least this many trial records")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ledgercheck [-min-cells N] [-min-trials N] run.ledger")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ledgercheck:", err)
+		os.Exit(1)
+	}
+	rep, err := ledger.Validate(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ledgercheck: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if rep.Cells < *minCells {
+		fmt.Fprintf(os.Stderr, "ledgercheck: %s: %d cell(s), want >= %d\n", path, rep.Cells, *minCells)
+		os.Exit(1)
+	}
+	if rep.Trials < *minTrials {
+		fmt.Fprintf(os.Stderr, "ledgercheck: %s: %d trial record(s), want >= %d\n", path, rep.Trials, *minTrials)
+		os.Exit(1)
+	}
+	fmt.Printf("ledgercheck: %s OK — experiment %q, %d cell(s), %d trial record(s), %d stopped early\n",
+		path, rep.Experiment, rep.Cells, rep.Trials, rep.StoppedEarly)
+}
