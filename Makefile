@@ -7,11 +7,16 @@
 #   make trace-smoke  run a tiny traced sim and validate the Perfetto JSON
 #   make ledger-smoke run a small ledgered+heatmapped sweep and validate the
 #                     JSONL with ledgercheck
-#   make lint         gofmt + vet (CI additionally runs staticcheck)
+#   make lint         gofmt + vet + questvet (CI additionally runs staticcheck)
+#   make questvet     run only the custom analyzer suite (tools/questvet)
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json benchdiff trace-smoke ledger-smoke lint vet fmt experiments examples fuzz clean
+# GO_TOOLCHAIN mirrors go.mod's `toolchain` directive; TestToolchainVersionsAgree
+# fails if the two (or CI's version matrix) drift apart.
+GO_TOOLCHAIN := go1.24.0
+
+.PHONY: all build test test-short race bench bench-json benchdiff trace-smoke ledger-smoke lint vet fmt questvet experiments examples fuzz clean
 
 all: build vet test race
 
@@ -24,8 +29,14 @@ vet:
 fmt:
 	gofmt -l -w .
 
-lint: vet
+lint: vet questvet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Custom analyzer suite (internal/lint): detrange, nogate, seedsrc, schemaver.
+# Exit 1 on any unsuppressed diagnostic; the summary line counts the
+# //quest:allow suppressions in force.
+questvet:
+	$(GO) run ./tools/questvet ./...
 
 test:
 	$(GO) test ./...

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 	"time"
 
 	"quest/internal/heatmap"
@@ -231,7 +232,19 @@ func NewLocalDecoder(lat surface.Lattice) *LocalDecoder {
 			owner[dq] = append(owner[dq], a)
 		}
 	}
-	for dq, as := range owner {
+	// Visit data qubits in index order, not map order: the boundaryLUT
+	// entries below are first-writer-wins, so randomized iteration let two
+	// runs of the same binary claim a boundary ancilla for different data
+	// qubits and decode the same syndrome to different (if homologically
+	// equivalent) corrections. TestLocalDecoderConstructionDeterministic
+	// pins this.
+	dqs := make([]int, 0, len(owner))
+	for dq := range owner {
+		dqs = append(dqs, dq)
+	}
+	sort.Ints(dqs)
+	for _, dq := range dqs {
+		as := owner[dq]
 		for i := 0; i < len(as); i++ {
 			for j := i + 1; j < len(as); j++ {
 				if lat.RoleOf(as[i]) != lat.RoleOf(as[j]) {
@@ -247,8 +260,8 @@ func NewLocalDecoder(lat surface.Lattice) *LocalDecoder {
 		for _, a := range as {
 			byType[lat.RoleOf(a)] = append(byType[lat.RoleOf(a)], a)
 		}
-		for _, group := range byType {
-			if len(group) == 1 {
+		for _, role := range []surface.Role{surface.RoleAncillaX, surface.RoleAncillaZ} {
+			if group := byType[role]; len(group) == 1 {
 				a := group[0]
 				if _, dup := d.boundaryLUT[a]; !dup {
 					d.boundaryLUT[a] = dq
@@ -463,7 +476,7 @@ func (g *GlobalDecoder) Match(defects []Defect) Matching {
 			panic("decoder: Match requires same-type defects")
 		}
 	}
-	start := time.Now()
+	start := time.Now() //quest:allow(seedsrc) wall-clock latency metric only; the value never reaches simulation state
 	var m Matching
 	if len(defects) <= g.MaxExact {
 		m = g.exactMatch(defects)

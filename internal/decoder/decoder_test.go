@@ -2,6 +2,7 @@ package decoder
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"quest/internal/awg"
@@ -424,4 +425,27 @@ func TestWeightedMatchingPrefersMeasurementErrorExplanation(t *testing.T) {
 		}
 	}()
 	g.SetWeights(0, 0.5)
+}
+
+// TestLocalDecoderConstructionDeterministic pins the sorted-iteration fix in
+// NewLocalDecoder: table construction used to range Go maps (data qubit →
+// adjacent ancillas, ancilla role groups), so when more than one data qubit
+// could claim a LUT slot, which one won was decided by map iteration order —
+// different decoders for the same lattice could disagree. Build many and
+// require the tables identical. (reflect.DeepEqual on maps is content-based,
+// so this catches divergent contents, not merely divergent ordering.)
+func TestLocalDecoderConstructionDeterministic(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		lat := surface.NewPlanar(d)
+		first := NewLocalDecoder(lat)
+		for i := 1; i < 25; i++ {
+			ld := NewLocalDecoder(lat)
+			if !reflect.DeepEqual(ld.lut, first.lut) {
+				t.Fatalf("d=%d build %d: pair LUT differs from first build", d, i)
+			}
+			if !reflect.DeepEqual(ld.boundaryLUT, first.boundaryLUT) {
+				t.Fatalf("d=%d build %d: boundary LUT differs from first build", d, i)
+			}
+		}
+	}
 }

@@ -41,9 +41,14 @@ func (w *WindowDecoder) SetHeat(heat *heatmap.Collector) {
 // chain length, and every boundary match with its boundary distance. The
 // unweighted distances are recorded — they are the physical chain lengths
 // the decoder micro-architecture literature sizes hardware against, while
-// weighted costs are a tuning artifact. Callers gate on heat != nil, so the
-// heat-off path never reaches this function.
+// weighted costs are a tuning artifact. Callers gate on heat != nil, but the
+// function guards again itself: the collector comes in as a parameter, so a
+// future un-gated caller must not turn the heat-off path allocating
+// (TestMatchHeatOffAllocs pins the ≤6 allocs/op budget this protects).
 func recordMatching(heat *heatmap.Collector, lat surface.Lattice, defects []Defect, m Matching) {
+	if heat == nil {
+		return
+	}
 	for _, p := range m.Pairs {
 		a, b := defects[p[0]], defects[p[1]]
 		heat.MatchedPair(a.R, a.C, b.R, b.C, spaceTimeDistance(a, b))

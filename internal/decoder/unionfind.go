@@ -88,7 +88,7 @@ func (d *UnionFindDecoder) Match(defects []Defect) Matching {
 			panic("decoder: union-find Match requires same-type defects")
 		}
 	}
-	start := time.Now()
+	start := time.Now() //quest:allow(seedsrc) wall-clock latency metric only; the value never reaches simulation state
 	defer func() {
 		defaultInstr.matchUF.Inc()
 		defaultInstr.matchCalls.Inc()

@@ -100,7 +100,7 @@ func (w *WindowDecoder) Flush(frame *PauliFrame) int {
 	if len(w.buf) == 0 {
 		return 0
 	}
-	start := time.Now()
+	start := time.Now() //quest:allow(seedsrc) wall-clock latency metric only; the value never reaches simulation state
 	applied := 0
 	xs, zs := SplitByType(w.buf)
 	w.buf = w.buf[:0]
@@ -115,11 +115,13 @@ func (w *WindowDecoder) Flush(frame *PauliFrame) int {
 		}
 	}
 	w.instr.windowFlushNs.Observe(float64(time.Since(start)))
-	dur := w.round - w.openRound
-	if dur < 1 {
-		dur = 1
+	if w.tr != nil {
+		dur := w.round - w.openRound
+		if dur < 1 {
+			dur = 1
+		}
+		w.tr.SpanArg("decoder", w.tid, "window", w.openRound, dur, "applied", int64(applied))
 	}
-	w.tr.SpanArg("decoder", w.tid, "window", w.openRound, dur, "applied", int64(applied))
 	w.openRound = w.round
 	return applied
 }

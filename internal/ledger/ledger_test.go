@@ -159,3 +159,25 @@ func TestValidateCountsEarlyStops(t *testing.T) {
 		t.Errorf("writer counts cells=%d trials=%d, want 2, 0", w.Cells(), w.Trials())
 	}
 }
+
+// TestValidateDanglingCellsErrorDeterministic pins that the dangling-cell
+// verdict names every unsummarized cell in sorted order. The pre-fix code
+// reported whichever cell map iteration surfaced first, so the same broken
+// ledger produced different error text run to run.
+func TestValidateDanglingCellsErrorDeterministic(t *testing.T) {
+	header := strings.SplitN(string(writeSample(t, 1)), "\n", 2)[0]
+	data := header
+	for _, cell := range []string{"zeta", "alpha", "mid", "beta", "omega"} {
+		data += "\n" + `{"record":"trial","cell":"` + cell + `","trial":0,"seed":"0x1"}`
+	}
+	want := `trial records for cell(s) ["alpha" "beta" "mid" "omega" "zeta"] have no cell summary`
+	for i := 0; i < 20; i++ {
+		_, err := Validate([]byte(data))
+		if err == nil {
+			t.Fatal("accepted ledger with dangling trials")
+		}
+		if err.Error() != want {
+			t.Fatalf("run %d: error %q, want %q", i, err, want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 )
 
@@ -138,8 +139,17 @@ func Validate(data []byte) (ValidateReport, error) {
 	if !sawHeader {
 		return rep, fmt.Errorf("ledger is empty")
 	}
-	for cell := range trialsByCell {
-		return rep, fmt.Errorf("trial records for cell %q have no cell summary", cell)
+	if len(trialsByCell) > 0 {
+		// Sort the dangling cells so the validator's verdict is itself a
+		// deterministic artifact: the old code returned whichever cell map
+		// iteration surfaced first, so the same broken ledger produced
+		// different error text run to run.
+		cells := make([]string, 0, len(trialsByCell))
+		for cell := range trialsByCell {
+			cells = append(cells, cell)
+		}
+		sort.Strings(cells)
+		return rep, fmt.Errorf("trial records for cell(s) %q have no cell summary", cells)
 	}
 	return rep, nil
 }

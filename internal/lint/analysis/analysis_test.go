@@ -1,0 +1,60 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"quest/internal/lint/analysis"
+	"quest/internal/lint/loader"
+	"quest/internal/lint/seedsrc"
+)
+
+// TestDirectivePolicing pins the driver's handling of //quest:allow
+// directives: a suppression without a reason does not suppress and is itself
+// a diagnostic, as are unknown-analyzer, unused, and malformed directives.
+// Only a well-formed directive with a reason silences a finding.
+func TestDirectivePolicing(t *testing.T) {
+	root, err := loader.FindRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := loader.NewProgram(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := prog.LoadDir("testdata/src/a", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Check(pkg, prog.Fset, []*analysis.Analyzer{seedsrc.Analyzer}, []string{"seedsrc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := []struct {
+		line          int
+		analyzer, msg string
+	}{
+		{6, analysis.DirectiveAnalyzer, "has no reason"},
+		{7, "seedsrc", "time.Now"}, // reasonless directive must NOT suppress
+		{11, analysis.DirectiveAnalyzer, "unknown analyzer"},
+		{12, "seedsrc", "time.Now"}, // unknown-analyzer directive must NOT suppress
+		{16, analysis.DirectiveAnalyzer, "matches no diagnostic"},
+		{21, analysis.DirectiveAnalyzer, "malformed suppression"},
+	}
+	if len(res.Active) != len(want) {
+		t.Fatalf("Check returned %d active diagnostics, want %d:\n%v", len(res.Active), len(want), res.Active)
+	}
+	for i, w := range want {
+		d := res.Active[i]
+		if d.Pos.Line != w.line || d.Analyzer != w.analyzer || !strings.Contains(d.Message, w.msg) {
+			t.Errorf("active[%d] = %s, want line %d analyzer %s message containing %q", i, d, w.line, w.analyzer, w.msg)
+		}
+	}
+	if len(res.Suppressed) != 1 || res.Suppressed[0].Pos.Line != 27 {
+		t.Fatalf("Suppressed = %v, want exactly the line-27 time.Now silenced by the well-formed directive", res.Suppressed)
+	}
+	if res.Suppressed[0].Reason != "wall-clock latency metric only" {
+		t.Errorf("suppression reason %q not carried through", res.Suppressed[0].Reason)
+	}
+}

@@ -1,0 +1,28 @@
+package a
+
+import "time"
+
+func noReason() time.Time {
+	//quest:allow(seedsrc)
+	return time.Now()
+}
+
+func unknownAnalyzer() time.Time {
+	//quest:allow(nosuch) the analyzer name is misspelled
+	return time.Now()
+}
+
+func unusedSuppression() int {
+	//quest:allow(seedsrc) nothing on the next line trips seedsrc
+	return 42
+}
+
+func malformed() int {
+	//quest:allow missing the parenthesized analyzer
+	return 0
+}
+
+func properlySuppressed() time.Time {
+	//quest:allow(seedsrc) wall-clock latency metric only
+	return time.Now()
+}

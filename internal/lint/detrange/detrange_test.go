@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"quest/internal/lint/analysistest"
+	"quest/internal/lint/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", detrange.Analyzer)
+}

@@ -1,0 +1,52 @@
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+func flagged(m map[string]int) {
+	for k, v := range m { // want "range over map"
+		fmt.Println(k, v)
+	}
+}
+
+func keyless(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func deleteClearing(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func suppressed(m map[string]int) int {
+	n := 0
+	//quest:allow(detrange) summing values is order-independent
+	for _, v := range m { // suppressed "range over map"
+		n += v
+	}
+	return n
+}

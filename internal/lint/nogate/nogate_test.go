@@ -1,0 +1,12 @@
+package nogate_test
+
+import (
+	"testing"
+
+	"quest/internal/lint/analysistest"
+	"quest/internal/lint/nogate"
+)
+
+func TestNogate(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", nogate.Analyzer)
+}

@@ -1,0 +1,64 @@
+package a
+
+import (
+	"fmt"
+	"time"
+
+	"quest/internal/heatmap"
+	"quest/internal/metrics"
+	"quest/internal/tracing"
+)
+
+type engine struct {
+	tr   *tracing.Tracer
+	heat *heatmap.Collector
+	ops  *metrics.Counter
+	ns   *metrics.Histogram
+}
+
+func (e *engine) ungatedTracer(cycle int64) {
+	e.tr.Instant("mce", 0, "tick", cycle) // want "not nil-gated"
+}
+
+func (e *engine) gatedTracer(cycle int64) {
+	if e.tr != nil {
+		e.tr.Instant("mce", 0, "tick", cycle)
+	}
+}
+
+func (e *engine) gatedConjunct(cycle int64, busy bool) {
+	if busy && e.tr != nil {
+		e.tr.Span("mce", 0, "busy", cycle, 1)
+	}
+}
+
+func (e *engine) guardReturn(cycle int64) {
+	if e.tr == nil {
+		return
+	}
+	e.tr.Instant("mce", 0, "tick", cycle)
+}
+
+func (e *engine) ungatedHeat(r, c int) {
+	e.heat.Defect(r, c) // want "not nil-gated"
+}
+
+func (e *engine) gatedHeat(r, c int) {
+	if e.heat != nil {
+		e.heat.Defect(r, c)
+	}
+}
+
+func (e *engine) riskyMetricArg(names []string) {
+	e.ns.Observe(float64(len(fmt.Sprint(names)))) // want "may allocate"
+}
+
+func (e *engine) fineMetricArgs(start time.Time, n int) {
+	e.ops.Add(uint64(n))
+	e.ns.Observe(float64(time.Since(start)))
+}
+
+func (e *engine) suppressedTracer(cycle int64) {
+	//quest:allow(nogate) cold path: runs once at shutdown, never per cycle
+	e.tr.Instant("mce", 0, "flush", cycle) // suppressed "not nil-gated"
+}

@@ -1,0 +1,133 @@
+// Package questvet assembles the repository's analyzer suite — the four
+// machine-checked invariants behind the paper reproduction's determinism
+// and zero-overhead-observability claims — and scopes each analyzer to the
+// packages where its invariant is load-bearing:
+//
+//   - detrange (determinism-critical packages): no map iteration whose
+//     order can reach results, ledgers, traces, heatmaps, or reports.
+//   - nogate (hot-path packages): every tracing/heatmap hook nil-gated,
+//     every metrics argument allocation-free, protecting the pinned alloc
+//     budgets (mc.RunWith ≤ 8 allocs/call, decoder exact-match ≤ 6
+//     allocs/op with observers off).
+//   - seedsrc (simulation/MC packages): no wall clock, pid, or global
+//     math/rand source; all entropy flows from the experiment seed through
+//     the SplitMix64 mixers.
+//   - schemaver (everywhere): serialized-artifact schema strings
+//     ("quest-ledger/1", ...) defined once, as exported constants.
+//
+// The tools/questvet binary drives this suite over the module; the Run
+// helper here is shared with its tests.
+package questvet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"quest/internal/lint/analysis"
+	"quest/internal/lint/detrange"
+	"quest/internal/lint/loader"
+	"quest/internal/lint/nogate"
+	"quest/internal/lint/schemaver"
+	"quest/internal/lint/seedsrc"
+)
+
+// A ScopedAnalyzer pairs an analyzer with the internal package directories
+// it applies to. An empty Dirs list means every package in the module.
+type ScopedAnalyzer struct {
+	Analyzer *analysis.Analyzer
+	// Dirs are base names under internal/ (subpackages included).
+	Dirs []string
+}
+
+// Suite returns the four analyzers with their package scopes.
+func Suite() []ScopedAnalyzer {
+	return []ScopedAnalyzer{
+		// Packages whose map-iteration order can reach serialized output or
+		// report rows.
+		{detrange.Analyzer, []string{"mc", "core", "decoder", "noc", "ledger", "heatmap", "tracing", "metrics", "chart"}},
+		// Hot-path packages covered by the pinned alloc budgets.
+		{nogate.Analyzer, []string{"mce", "master", "decoder", "noc", "dram"}},
+		// Simulation/Monte-Carlo packages where ambient entropy would break
+		// (config, seed) replayability.
+		{seedsrc.Analyzer, []string{"mc", "core", "mce", "master", "decoder", "noc", "dram", "noise", "clifford", "surface", "distill", "concat"}},
+		// Schema constants are a whole-module concern.
+		{schemaver.Analyzer, nil},
+	}
+}
+
+// Names returns the analyzer names of the suite, sorted.
+func Names() []string {
+	var out []string
+	for _, sa := range Suite() {
+		out = append(out, sa.Analyzer.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Applies reports whether the scoped analyzer runs on importPath.
+func (sa ScopedAnalyzer) Applies(importPath string) bool {
+	if len(sa.Dirs) == 0 {
+		return true
+	}
+	_, rest, ok := strings.Cut(importPath+"/", "/internal/")
+	if !ok {
+		return false
+	}
+	first, _, _ := strings.Cut(rest, "/")
+	for _, d := range sa.Dirs {
+		if first == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Report aggregates a run over many packages.
+type Report struct {
+	Active     []analysis.Diagnostic
+	Suppressed []analysis.Suppressed
+}
+
+// Run checks every package with its applicable analyzers, then runs the
+// cross-package schema-duplication check. pkgs is typically the result of
+// prog.LoadModule(), optionally filtered.
+func Run(prog *loader.Program, pkgs []*loader.Package) (Report, error) {
+	var rep Report
+	suite := Suite()
+	known := Names()
+	for _, pkg := range pkgs {
+		var sel []*analysis.Analyzer
+		for _, sa := range suite {
+			if sa.Applies(pkg.Path) {
+				sel = append(sel, sa.Analyzer)
+			}
+		}
+		res, err := analysis.Check(pkg, prog.Fset, sel, known)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Active = append(rep.Active, res.Active...)
+		rep.Suppressed = append(rep.Suppressed, res.Suppressed...)
+	}
+	rep.Active = append(rep.Active, schemaver.Duplicates(prog.Fset, pkgs)...)
+	return rep, nil
+}
+
+// Write prints the report: active diagnostics (if any), then a one-line
+// suppression summary; with verbose, each suppression and its reason.
+// It returns the number of active diagnostics.
+func (r Report) Write(w io.Writer, verbose bool) int {
+	for _, d := range r.Active {
+		fmt.Fprintln(w, d)
+	}
+	if verbose {
+		for _, s := range r.Suppressed {
+			fmt.Fprintf(w, "%s: [%s] suppressed: %s (reason: %s)\n", s.Pos, s.Analyzer, s.Message, s.Reason)
+		}
+	}
+	fmt.Fprintf(w, "questvet: %d diagnostic(s), %d suppression(s) in force\n", len(r.Active), len(r.Suppressed))
+	return len(r.Active)
+}

@@ -1,0 +1,78 @@
+package questvet
+
+import (
+	"strings"
+	"testing"
+
+	"quest/internal/lint/analysis"
+)
+
+func TestSuiteNamesAndScopes(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 4 {
+		t.Fatalf("suite has %d analyzers, want 4", len(suite))
+	}
+	got := strings.Join(Names(), ",")
+	if got != "detrange,nogate,schemaver,seedsrc" {
+		t.Fatalf("Names() = %s", got)
+	}
+	for _, sa := range suite {
+		if sa.Analyzer.Doc == "" {
+			t.Errorf("%s has no doc", sa.Analyzer.Name)
+		}
+	}
+}
+
+func TestAppliesScoping(t *testing.T) {
+	byName := map[string]ScopedAnalyzer{}
+	for _, sa := range Suite() {
+		byName[sa.Analyzer.Name] = sa
+	}
+	cases := []struct {
+		analyzer, path string
+		want           bool
+	}{
+		{"detrange", "quest/internal/mc", true},
+		{"detrange", "quest/internal/noc", true},
+		{"detrange", "quest/internal/mce", false},
+		{"detrange", "quest/tools/benchdiff", false},
+		{"nogate", "quest/internal/mce", true},
+		{"nogate", "quest/internal/decoder", true},
+		{"nogate", "quest/internal/ledger", false},
+		{"seedsrc", "quest/internal/noise", true},
+		{"seedsrc", "quest/internal/chart", false},
+		// Subpackages inherit their parent directory's scope.
+		{"nogate", "quest/internal/decoder/sub", true},
+		// Whole-module analyzers apply everywhere, tools included.
+		{"schemaver", "quest/tools/ledgercheck", true},
+		{"schemaver", "quest", true},
+	}
+	for _, c := range cases {
+		sa, ok := byName[c.analyzer]
+		if !ok {
+			t.Fatalf("no analyzer %s", c.analyzer)
+		}
+		if got := sa.Applies(c.path); got != c.want {
+			t.Errorf("%s.Applies(%q) = %v, want %v", c.analyzer, c.path, got, c.want)
+		}
+	}
+}
+
+func TestReportWriteCounts(t *testing.T) {
+	rep := Report{
+		Active: []analysis.Diagnostic{{Analyzer: "detrange", Message: "x"}},
+		Suppressed: []analysis.Suppressed{
+			{Diagnostic: analysis.Diagnostic{Analyzer: "seedsrc", Message: "y"}, Reason: "z"},
+		},
+	}
+	var b strings.Builder
+	if n := rep.Write(&b, true); n != 1 {
+		t.Fatalf("Write returned %d, want 1", n)
+	}
+	out := b.String()
+	for _, want := range []string{"questvet: 1 diagnostic(s), 1 suppression(s) in force", "suppressed: y (reason: z)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

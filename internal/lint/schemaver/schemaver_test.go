@@ -1,0 +1,49 @@
+package schemaver_test
+
+import (
+	"strings"
+	"testing"
+
+	"quest/internal/lint/analysistest"
+	"quest/internal/lint/loader"
+	"quest/internal/lint/schemaver"
+)
+
+func TestSchemaver(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", schemaver.Analyzer)
+}
+
+// TestDuplicatesAcrossPackages pins the module-wide companion check: an
+// exported schema const whose literal is already defined in another package
+// is a diagnostic naming the first definition.
+func TestDuplicatesAcrossPackages(t *testing.T) {
+	root, err := loader.FindRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := loader.NewProgram(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := prog.LoadDir("testdata/src/a", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prog.LoadDir("testdata/src/b", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := schemaver.Duplicates(prog.Fset, []*loader.Package{a, b})
+	var crossPkg, samePkg bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, `"quest-alpha/1"`) && strings.Contains(d.Message, "a.SchemaA"):
+			crossPkg = true
+		case strings.Contains(d.Message, `"quest-dup/1"`):
+			samePkg = true
+		}
+	}
+	if len(diags) != 2 || !crossPkg || !samePkg {
+		t.Fatalf("Duplicates returned %d diagnostics %v; want the quest-alpha/1 cross-package dup (naming a.SchemaA) and the quest-dup/1 dup", len(diags), diags)
+	}
+}

@@ -1,0 +1,28 @@
+package a
+
+// SchemaA is the blessed single definition for the alpha artifact format.
+const SchemaA = "quest-alpha/1"
+
+const schemaHidden = "quest-hidden/2" // want "unexported const"
+
+const (
+	SchemaDup    = "quest-dup/1"
+	SchemaDupTwo = "quest-dup/1" // want "more than one exported const"
+)
+
+func headerLine() string {
+	return `{"schema":"` + SchemaA + `"}`
+}
+
+func inline() string {
+	return "quest-alpha/1" // want "inline schema string"
+}
+
+func notSchema() string {
+	return "plain string, not a schema id"
+}
+
+func suppressedInline() string {
+	//quest:allow(schemaver) golden fixture exercises the raw literal deliberately
+	return "quest-alpha/1" // suppressed "inline schema string"
+}

@@ -1,0 +1,5 @@
+package b
+
+// SchemaAlphaCopy re-defines a literal owned by package a; the cross-package
+// Duplicates check must flag it.
+const SchemaAlphaCopy = "quest-alpha/1"

@@ -1,0 +1,79 @@
+// Package seedsrc forbids ambient entropy in simulation and Monte-Carlo
+// packages: wall-clock time, process identity, and the global math/rand
+// source.
+//
+// Every random draw in a simulation must flow from the experiment seed
+// through the SplitMix64 mixers (mc.Derive and friends), so that a (config,
+// seed) pair replays to the identical trajectory on any machine and any
+// worker count. A single `time.Now().UnixNano()` seed, `os.Getpid()` mix-in,
+// or call to a top-level math/rand function (which consults the global,
+// process-seeded source) silently re-introduces ambient entropy and breaks
+// replayability. seedsrc flags:
+//
+//   - calls to time.Now (wall-clock latency measurements that feed only
+//     metrics histograms are legitimate; suppress those sites with
+//     //quest:allow(seedsrc) and a reason saying the value never reaches
+//     simulation state),
+//   - calls to os.Getpid,
+//   - any use of a top-level math/rand or math/rand/v2 function that draws
+//     from the global source (rand.Int, rand.Float64, rand.Seed, ...).
+//     Constructors that build an explicitly seeded generator (rand.New,
+//     rand.NewSource, rand.NewPCG, rand.NewChaCha8, rand.NewZipf) and
+//     methods on *rand.Rand values stay legal.
+package seedsrc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"quest/internal/lint/analysis"
+)
+
+// Analyzer is the seedsrc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedsrc",
+	Doc:  "forbids time.Now, os.Getpid, and the global math/rand source in simulation/MC packages",
+	Run:  run,
+}
+
+// allowedRandFuncs are top-level math/rand functions that do not touch the
+// global source: they construct explicitly seeded generators.
+var allowedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (e.g. on *rand.Rand) are seed-disciplined
+			}
+			switch path, name := fn.Pkg().Path(), fn.Name(); {
+			case path == "time" && name == "Now":
+				pass.Reportf(sel.Pos(),
+					"time.Now in a simulation/MC package: seeds and simulated time must derive from the experiment seed (SplitMix64 mixers), not the wall clock; if this only feeds a latency metric, add //quest:allow(seedsrc) with that reason")
+			case path == "os" && name == "Getpid":
+				pass.Reportf(sel.Pos(),
+					"os.Getpid in a simulation/MC package: process identity is ambient entropy; derive per-worker streams from the experiment seed instead")
+			case (path == "math/rand" || path == "math/rand/v2") && !allowedRandFuncs[name]:
+				pass.Reportf(sel.Pos(),
+					"%s.%s draws from the global math/rand source; use an explicitly seeded *rand.Rand flowing from the SplitMix64 seed mixers", path, name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package seedsrc_test
+
+import (
+	"testing"
+
+	"quest/internal/lint/analysistest"
+	"quest/internal/lint/seedsrc"
+)
+
+func TestSeedsrc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", seedsrc.Analyzer)
+}

@@ -1,0 +1,30 @@
+package a
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in a simulation/MC package"
+}
+
+func pid() int {
+	return os.Getpid() // want "os.Getpid in a simulation/MC package"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand source"
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func latency() time.Duration {
+	//quest:allow(seedsrc) wall-clock latency metric only; never reaches simulation state
+	start := time.Now() // suppressed "time.Now"
+	return time.Since(start)
+}

@@ -206,7 +206,9 @@ func (m *Master) Dispatch(tile int, in isa.LogicalInstr) error {
 	}
 	m.Logical.Add(1, isa.LogicalInstrBytes)
 	m.in.dispatched.Inc()
-	m.tr.InstantArg("master", 0, "dispatch", int64(m.cycle), "tile", int64(tile))
+	if m.tr != nil {
+		m.tr.InstantArg("master", 0, "dispatch", int64(m.cycle), "tile", int64(tile))
+	}
 	return nil
 }
 
@@ -226,7 +228,9 @@ func (m *Master) SendSync(tile int, id uint16) error {
 	}
 	m.Sync.Add(1, isa.LogicalInstrBytes)
 	m.in.syncsSent.Inc()
-	m.tr.InstantArg("master", 0, "sync", int64(m.cycle), "tile", int64(tile))
+	if m.tr != nil {
+		m.tr.InstantArg("master", 0, "sync", int64(m.cycle), "tile", int64(tile))
+	}
 	return nil
 }
 
@@ -241,7 +245,9 @@ func (m *Master) LoadCache(tile, slot int, body []isa.LogicalInstr) error {
 	}
 	m.Cache.Add(uint64(len(body)), uint64(len(body)*isa.LogicalInstrBytes))
 	m.in.cacheBodies.Inc()
-	m.tr.InstantArg("master", 0, "cache.load", int64(m.cycle), "bytes", int64(len(body)*isa.LogicalInstrBytes))
+	if m.tr != nil {
+		m.tr.InstantArg("master", 0, "cache.load", int64(m.cycle), "bytes", int64(len(body)*isa.LogicalInstrBytes))
+	}
 	return nil
 }
 
@@ -354,7 +360,7 @@ func (m *Master) StepCycle() CycleReport {
 					panic(fmt.Sprintf("master: delivery failed: %v", err))
 				}
 			}
-			if n > 0 {
+			if n > 0 && m.tr != nil {
 				m.tr.SpanArg("noc", tile, "deliver", int64(m.cycle), 1, "pkts", int64(n))
 			}
 			m.queues[tile] = q[n:]
@@ -373,7 +379,9 @@ func (m *Master) StepCycle() CycleReport {
 			}
 			m.tiles[hungriest].SupplyMagicStates(out)
 			rep.MagicProduced += out
-			m.tr.InstantArg("master", 0, "magic", int64(m.cycle), "n", int64(out))
+			if m.tr != nil {
+				m.tr.InstantArg("master", 0, "magic", int64(m.cycle), "n", int64(out))
+			}
 		}
 	}
 
@@ -390,7 +398,9 @@ func (m *Master) StepCycle() CycleReport {
 			// Syndrome data returns over the global bus: one byte per
 			// escalated defect record (position+round packed).
 			m.Syndrome.Add(uint64(len(r.DefectsEscalated)), uint64(len(r.DefectsEscalated)))
-			m.tr.InstantArg("decoder", i, "escalate", int64(m.cycle), "defects", int64(len(r.DefectsEscalated)))
+			if m.tr != nil {
+				m.tr.InstantArg("decoder", i, "escalate", int64(m.cycle), "defects", int64(len(r.DefectsEscalated)))
+			}
 		}
 		if w := m.windows[i]; w != nil {
 			if applied := w.Absorb(r.DefectsEscalated, t.Frame()); applied > 0 {
@@ -401,7 +411,7 @@ func (m *Master) StepCycle() CycleReport {
 			continue
 		}
 		if len(r.DefectsEscalated) > 0 {
-			decodeStart := time.Now()
+			decodeStart := time.Now() //quest:allow(seedsrc) wall-clock latency metric only; the value never reaches simulation state
 			xs, zs := decoder.SplitByType(r.DefectsEscalated)
 			for _, group := range [2][]decoder.Defect{xs, zs} {
 				if len(group) == 0 {
@@ -416,7 +426,9 @@ func (m *Master) StepCycle() CycleReport {
 				m.in.globalDecodes.Inc()
 			}
 			m.in.decodeNs.Observe(float64(time.Since(decodeStart)))
-			m.tr.SpanArg("decoder", i, "global", int64(m.cycle), 1, "defects", int64(len(r.DefectsEscalated)))
+			if m.tr != nil {
+				m.tr.SpanArg("decoder", i, "global", int64(m.cycle), 1, "defects", int64(len(r.DefectsEscalated)))
+			}
 		}
 	}
 	m.cycle++

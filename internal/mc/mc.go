@@ -379,7 +379,7 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 	heatParent := obs.Heat
 	heatShards := makeHeatShards(heatParent, trials)
 	busyNs := make([]int64, workers) // per-worker time spent inside fn
-	start := time.Now()
+	start := time.Now()              //quest:allow(seedsrc) wall-clock latency metric only; the value never reaches simulation state
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		if reg != nil {
@@ -407,7 +407,7 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 				if st != nil && t >= int(st.stopAt.Load()) {
 					return
 				}
-				t0 := time.Now()
+				t0 := time.Now() //quest:allow(seedsrc) wall-clock latency metric only; the value never reaches simulation state
 				var out Outcome
 				switch {
 				case ofn != nil:

@@ -291,7 +291,9 @@ func (m *MCE) Enqueue(in isa.LogicalInstr) error {
 		}
 		m.cacheHits += uint64(reps)
 		m.in.cacheHits.Add(uint64(reps))
-		m.tr.InstantArg("mce", m.tid, "cache.replay", int64(m.cycle), "reps", int64(reps))
+		if m.tr != nil {
+			m.tr.InstantArg("mce", m.tid, "cache.replay", int64(m.cycle), "reps", int64(reps))
+		}
 		return nil
 	case isa.LCacheLoad:
 		return fmt.Errorf("mce: LCacheLoad must arrive via LoadCacheSlot with its body")
@@ -343,7 +345,9 @@ func (m *MCE) LoadCacheSlot(slot int, body []isa.LogicalInstr) error {
 	m.cache[slot] = append([]isa.LogicalInstr(nil), body...)
 	m.cacheLoads++
 	m.in.cacheLoads.Inc()
-	m.tr.InstantArg("mce", m.tid, "cache.fill", int64(m.cycle), "instrs", int64(len(body)))
+	if m.tr != nil {
+		m.tr.InstantArg("mce", m.tid, "cache.fill", int64(m.cycle), "instrs", int64(len(body)))
+	}
 	return nil
 }
 
@@ -372,7 +376,7 @@ const issueWidth = 4
 
 // StepCycle advances the machine by one QECC cycle and returns the report.
 func (m *MCE) StepCycle() CycleReport {
-	start := time.Now()
+	start := time.Now() //quest:allow(seedsrc) wall-clock latency metric only; the value never reaches simulation state
 	stallBefore := m.stalledT
 	rep := CycleReport{Cycle: m.cycle}
 	if m.inj != nil {

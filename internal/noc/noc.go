@@ -13,6 +13,7 @@ package noc
 
 import (
 	"fmt"
+	"sort"
 
 	"quest/internal/tracing"
 )
@@ -106,13 +107,31 @@ func (m *Mesh) nextHop(router, dst int) (next int, dir int) {
 }
 
 // Step advances the network one cycle and returns packets delivered this
-// cycle, per tile.
-func (m *Mesh) Step() map[int][]Packet {
-	out := make(map[int][]Packet)
+// cycle, indexed by tile.
+//
+// The in-flight links are visited in sorted (router, dir) order, never map
+// order: link visitation decides the append order into each router queue,
+// and the FIFO arbiter under LinkCapacity then decides which packet wins a
+// contended link this cycle. Randomized map iteration here made delivery
+// cycles — and with them trace spans and latency stats — vary between runs
+// of the same (config, seed); TestStepDeterministicUnderCrossTraffic pins
+// the fix.
+func (m *Mesh) Step() [][]Packet {
+	out := make([][]Packet, m.Tiles())
 	// 1. Land in-flight packets at their next router (or eject).
 	next := make(map[linkKey][]Packet)
-	for k, pkts := range m.inFlight {
-		for _, p := range pkts {
+	keys := make([]linkKey, 0, len(m.inFlight))
+	for k := range m.inFlight {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].router != keys[j].router {
+			return keys[i].router < keys[j].router
+		}
+		return keys[i].dir < keys[j].dir
+	})
+	for _, k := range keys {
+		for _, p := range m.inFlight[k] {
 			if k.dir == 4 {
 				lat := m.cycle - p.injected
 				m.deliveredN++
@@ -122,11 +141,13 @@ func (m *Mesh) Step() map[int][]Packet {
 				}
 				m.delivered[k.router] = append(m.delivered[k.router], p)
 				out[k.router] = append(out[k.router], p)
-				dur := int64(lat)
-				if dur < 1 {
-					dur = 1
+				if m.tr != nil {
+					dur := int64(lat)
+					if dur < 1 {
+						dur = 1
+					}
+					m.tr.SpanArg("noc", k.router, "pkt", int64(p.injected), dur, "lat", int64(lat))
 				}
-				m.tr.SpanArg("noc", k.router, "pkt", int64(p.injected), dur, "lat", int64(lat))
 				continue
 			}
 			dest := neighborOf(k.router, k.dir, m.W)
@@ -173,9 +194,9 @@ func neighborOf(router, dir, w int) int {
 }
 
 // Drain steps until the network empties (or maxCycles), returning deliveries
-// in order.
-func (m *Mesh) Drain(maxCycles int) (map[int][]Packet, bool) {
-	all := make(map[int][]Packet)
+// in order, indexed by tile.
+func (m *Mesh) Drain(maxCycles int) ([][]Packet, bool) {
+	all := make([][]Packet, m.Tiles())
 	for c := 0; c < maxCycles; c++ {
 		for tile, pkts := range m.Step() {
 			all[tile] = append(all[tile], pkts...)
@@ -193,7 +214,7 @@ func (m *Mesh) Pending() int {
 	for _, q := range m.routerQ {
 		n += len(q)
 	}
-	for _, pkts := range m.inFlight {
+	for _, pkts := range m.inFlight { //quest:allow(detrange) summing lengths is order-independent; no order escapes
 		n += len(pkts)
 	}
 	return n

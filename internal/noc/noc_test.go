@@ -198,3 +198,64 @@ func TestLinkCapacityWidensThroughput(t *testing.T) {
 		t.Errorf("4-wide links max latency %d not below serial %d", wide, narrow)
 	}
 }
+
+// TestStepDeterministicUnderCrossTraffic pins the inFlight-iteration fix in
+// Step: with several links in flight at once, link visitation order decides
+// the append order into contended router queues, and the FIFO arbiter under
+// LinkCapacity=1 then decides which packet wins each cycle. The pre-fix code
+// ranged the inFlight map directly, so two identical meshes fed identical
+// traffic could deliver in different cycles (different latency stats, trace
+// spans, payload interleavings).
+func TestStepDeterministicUnderCrossTraffic(t *testing.T) {
+	type delivery struct {
+		cycle, tile int
+		payload     [2]byte
+	}
+	run := func() ([]delivery, float64, int) {
+		m := NewMesh(4, 4)
+		var got []delivery
+		cycle := 0
+		step := func() {
+			for tile, pkts := range m.Step() {
+				for _, p := range pkts {
+					got = append(got, delivery{cycle, tile, p.Payload})
+				}
+			}
+			cycle++
+		}
+		// Cross-traffic: bursts toward every corner plus a column sweep, with
+		// steps interleaved so many links are simultaneously in flight.
+		for wave := 0; wave < 4; wave++ {
+			for i, dst := range []int{15, 12, 3, 7, 13, 5, 10, 15, 15} {
+				if err := m.Inject(Packet{Dst: dst, Payload: [2]byte{byte(wave), byte(i)}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			step()
+			step()
+		}
+		for m.Pending() > 0 && cycle < 500 {
+			step()
+		}
+		if m.Pending() > 0 {
+			t.Fatal("mesh did not drain")
+		}
+		_, _, mean, max := m.Stats()
+		return got, mean, max
+	}
+	first, mean0, max0 := run()
+	for i := 1; i < 10; i++ {
+		got, mean, max := run()
+		if mean != mean0 || max != max0 {
+			t.Fatalf("run %d: latency stats %v/%v, want %v/%v", i, mean, max, mean0, max0)
+		}
+		if len(got) != len(first) {
+			t.Fatalf("run %d: %d deliveries, want %d", i, len(got), len(first))
+		}
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("run %d: delivery %d = %+v, want %+v", i, j, got[j], first[j])
+			}
+		}
+	}
+}

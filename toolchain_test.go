@@ -1,0 +1,93 @@
+// Guard for Go-version agreement across the three places a version is named:
+// go.mod (`go` minimum and `toolchain` pin), the Makefile's GO_TOOLCHAIN
+// variable, and CI's test matrix. Each exists for a different consumer — the
+// compiler, developer tooling, and the build matrix — and drifting apart
+// means "works on CI" and "works locally" quietly test different compilers.
+package quest_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func readAll(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return string(data)
+}
+
+func firstMatch(t *testing.T, text, what, pattern string) string {
+	t.Helper()
+	m := regexp.MustCompile(pattern).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("%s: no match for %q", what, pattern)
+	}
+	return m[1]
+}
+
+// minorOf parses the minor number of a "1.NN[.P]" version string.
+func minorOf(t *testing.T, v string) int {
+	t.Helper()
+	parts := strings.Split(v, ".")
+	if len(parts) < 2 || parts[0] != "1" {
+		t.Fatalf("unexpected Go version %q", v)
+	}
+	n := 0
+	for _, c := range parts[1] {
+		if c < '0' || c > '9' {
+			t.Fatalf("unexpected Go version %q", v)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func TestToolchainVersionsAgree(t *testing.T) {
+	gomod := readAll(t, "go.mod")
+	makefile := readAll(t, "Makefile")
+	ci := readAll(t, ".github/workflows/ci.yml")
+
+	goMin := firstMatch(t, gomod, "go.mod go directive", `(?m)^go (\d+\.\d+)$`)
+	toolchain := firstMatch(t, gomod, "go.mod toolchain directive", `(?m)^toolchain (go\d+\.\d+(?:\.\d+)?)$`)
+	makeToolchain := firstMatch(t, makefile, "Makefile GO_TOOLCHAIN", `(?m)^GO_TOOLCHAIN := (\S+)$`)
+	matrix := firstMatch(t, ci, "CI go matrix", `(?m)^\s*go: \[(.*)\]$`)
+
+	if makeToolchain != toolchain {
+		t.Errorf("Makefile GO_TOOLCHAIN = %s, go.mod toolchain = %s; keep them identical", makeToolchain, toolchain)
+	}
+	if minorOf(t, strings.TrimPrefix(toolchain, "go")) < minorOf(t, goMin) {
+		t.Errorf("go.mod toolchain %s is older than the go.mod minimum (go %s); bump whichever is stale", toolchain, goMin)
+	}
+	// The matrix must test the module's declared minimum ("<goMin>.x") and
+	// the current stable release.
+	var entries []string
+	for _, e := range strings.Split(matrix, ",") {
+		entries = append(entries, strings.Trim(strings.TrimSpace(e), `"`))
+	}
+	wantMin := goMin + ".x"
+	foundMin, foundStable := false, false
+	for _, e := range entries {
+		switch e {
+		case wantMin:
+			foundMin = true
+		case "stable":
+			foundStable = true
+		}
+	}
+	if !foundMin {
+		t.Errorf("CI matrix %v does not test go.mod's minimum %s as %q", entries, goMin, wantMin)
+	}
+	if !foundStable {
+		t.Errorf("CI matrix %v does not test the stable release", entries)
+	}
+	// The matrix is only honest if each entry runs its own toolchain; the
+	// toolchain directive would otherwise upgrade the minimum job in place.
+	if !regexp.MustCompile(`(?m)^\s*GOTOOLCHAIN: local$`).MatchString(ci) {
+		t.Error("CI test job does not set GOTOOLCHAIN: local; the go.mod toolchain directive will override the version matrix")
+	}
+}

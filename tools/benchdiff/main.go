@@ -18,49 +18,61 @@
 // allocation counts are exact, so any growth is reported, yet a memory shift
 // alone never fails the run — latency is the gate, allocations are the hint
 // that explains it.
+//
+// Exit codes follow the tools/internal/cli contract: 0 clean, 1 regressions,
+// 2 usage or unreadable/unparseable input.
 package main
 
 import (
 	"flag"
-	"fmt"
-	"os"
+	"io"
 
 	"quest/internal/benchsuite"
+	"quest/tools/internal/cli"
 )
 
-var maxRegress = flag.Float64("max-regress", 0.30,
-	"fail when ns/op grows by more than this fraction over baseline")
-
-func main() {
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress 0.30] baseline.json current.json")
-		os.Exit(2)
-	}
-	base := readReport(flag.Arg(0))
-	cur := readReport(flag.Arg(1))
-	regressions, err := compare(os.Stdout, base, cur, *maxRegress)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
-	}
-	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d case(s) regressed beyond +%.0f%%\n",
-			regressions, 100**maxRegress)
-		os.Exit(1)
+func command() *cli.Command {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	maxRegress := fs.Float64("max-regress", 0.30,
+		"fail when ns/op grows by more than this fraction over baseline")
+	return &cli.Command{
+		Name:  "benchdiff",
+		Usage: "[-max-regress 0.30] baseline.json current.json",
+		NArgs: 2,
+		Flags: fs,
+		Run: func(args []string, stdout io.Writer) error {
+			base, err := readReport(args[0])
+			if err != nil {
+				return err
+			}
+			cur, err := readReport(args[1])
+			if err != nil {
+				return err
+			}
+			regressions, err := compare(stdout, base, cur, *maxRegress)
+			if err != nil {
+				return cli.Usagef("%v", err)
+			}
+			if regressions > 0 {
+				return cli.Failf("%d case(s) regressed beyond +%.0f%%", regressions, 100**maxRegress)
+			}
+			return nil
+		},
 	}
 }
 
-func readReport(path string) benchsuite.Report {
-	data, err := os.ReadFile(path)
+func readReport(path string) (benchsuite.Report, error) {
+	data, err := cli.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		return benchsuite.Report{}, err
 	}
 	r, err := benchsuite.ReadReport(data)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: parsing %s: %v\n", path, err)
-		os.Exit(2)
+		return benchsuite.Report{}, cli.Usagef("parsing %s: %v", path, err)
 	}
-	return r
+	return r, nil
+}
+
+func main() {
+	command().Main()
 }

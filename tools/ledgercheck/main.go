@@ -9,43 +9,52 @@
 // Usage:
 //
 //	ledgercheck [-min-cells N] [-min-trials N] run.ledger
+//
+// Exit codes follow the tools/internal/cli contract: 0 valid, 1 validation
+// findings, 2 usage or unreadable input.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
+	"io"
 
 	"quest/internal/ledger"
+	"quest/tools/internal/cli"
 )
 
+func command() *cli.Command {
+	fs := flag.NewFlagSet("ledgercheck", flag.ContinueOnError)
+	minCells := fs.Int("min-cells", 1, "fail unless the ledger carries at least this many cell summaries")
+	minTrials := fs.Int("min-trials", 0, "fail unless the ledger carries at least this many trial records")
+	return &cli.Command{
+		Name:  "ledgercheck",
+		Usage: "[-min-cells N] [-min-trials N] run.ledger",
+		NArgs: 1,
+		Flags: fs,
+		Run: func(args []string, stdout io.Writer) error {
+			path := args[0]
+			data, err := cli.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			rep, err := ledger.Validate(data)
+			if err != nil {
+				return cli.Failf("%s: %v", path, err)
+			}
+			if rep.Cells < *minCells {
+				return cli.Failf("%s: %d cell(s), want >= %d", path, rep.Cells, *minCells)
+			}
+			if rep.Trials < *minTrials {
+				return cli.Failf("%s: %d trial record(s), want >= %d", path, rep.Trials, *minTrials)
+			}
+			fmt.Fprintf(stdout, "ledgercheck: %s OK — experiment %q, %d cell(s), %d trial record(s), %d stopped early\n",
+				path, rep.Experiment, rep.Cells, rep.Trials, rep.StoppedEarly)
+			return nil
+		},
+	}
+}
+
 func main() {
-	minCells := flag.Int("min-cells", 1, "fail unless the ledger carries at least this many cell summaries")
-	minTrials := flag.Int("min-trials", 0, "fail unless the ledger carries at least this many trial records")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ledgercheck [-min-cells N] [-min-trials N] run.ledger")
-		os.Exit(2)
-	}
-	path := flag.Arg(0)
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ledgercheck:", err)
-		os.Exit(1)
-	}
-	rep, err := ledger.Validate(data)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ledgercheck: %s: %v\n", path, err)
-		os.Exit(1)
-	}
-	if rep.Cells < *minCells {
-		fmt.Fprintf(os.Stderr, "ledgercheck: %s: %d cell(s), want >= %d\n", path, rep.Cells, *minCells)
-		os.Exit(1)
-	}
-	if rep.Trials < *minTrials {
-		fmt.Fprintf(os.Stderr, "ledgercheck: %s: %d trial record(s), want >= %d\n", path, rep.Trials, *minTrials)
-		os.Exit(1)
-	}
-	fmt.Printf("ledgercheck: %s OK — experiment %q, %d cell(s), %d trial record(s), %d stopped early\n",
-		path, rep.Experiment, rep.Cells, rep.Trials, rep.StoppedEarly)
+	command().Main()
 }

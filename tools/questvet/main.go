@@ -1,0 +1,107 @@
+// Command questvet runs the repository's custom analyzer suite
+// (internal/lint/questvet) over the module: detrange (deterministic map
+// iteration), nogate (nil-gated observability on hot paths), seedsrc (no
+// ambient entropy in simulations), and schemaver (single-sourced schema
+// constants). `make lint` and CI's lint job fail on any diagnostic; the
+// final summary line reports how many //quest:allow suppressions are in
+// force so the escape hatches stay visible.
+//
+// Usage:
+//
+//	questvet [-v] [pattern ...]
+//
+// With no patterns (or "./..."), the whole module is checked. Other
+// patterns select packages whose import path equals the pattern, or falls
+// under it when the pattern ends in "/..." — mirroring go-tool package
+// patterns for paths inside this module.
+package main
+
+import (
+	"flag"
+	"io"
+	"strings"
+
+	"quest/internal/lint/loader"
+	"quest/internal/lint/questvet"
+	"quest/tools/internal/cli"
+)
+
+func main() {
+	flags := flag.NewFlagSet("questvet", flag.ContinueOnError)
+	verbose := flags.Bool("v", false, "list each suppression with its reason")
+	cmd := &cli.Command{
+		Name:  "questvet",
+		Usage: "[-v] [pattern ...]",
+		NArgs: -1,
+		Flags: flags,
+		Run: func(args []string, stdout io.Writer) error {
+			return run(args, *verbose, stdout)
+		},
+	}
+	cmd.Main()
+}
+
+func run(patterns []string, verbose bool, stdout io.Writer) error {
+	root, err := loader.FindRoot(".")
+	if err != nil {
+		return cli.Usagef("%v", err)
+	}
+	prog, err := loader.NewProgram(root)
+	if err != nil {
+		return cli.Usagef("%v", err)
+	}
+	pkgs, err := prog.LoadModule()
+	if err != nil {
+		return cli.Usagef("loading module: %v", err)
+	}
+	if sel := selectPackages(prog.Module, pkgs, patterns); sel != nil {
+		pkgs = sel
+	} else {
+		return cli.Usagef("patterns %q match no packages", patterns)
+	}
+	rep, err := questvet.Run(prog, pkgs)
+	if err != nil {
+		return cli.Usagef("%v", err)
+	}
+	if n := rep.Write(stdout, verbose); n > 0 {
+		return cli.Failf("%d diagnostic(s); fix them or add //quest:allow(<analyzer>) <reason>", n)
+	}
+	return nil
+}
+
+// selectPackages filters pkgs by go-style patterns relative to the module
+// ("./...", "quest/internal/mc", "./internal/decoder/..."). Nil means no
+// match; an empty pattern list selects everything.
+func selectPackages(module string, pkgs []*loader.Package, patterns []string) []*loader.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	match := func(path string) bool {
+		for _, pat := range patterns {
+			pat = strings.TrimPrefix(pat, "./")
+			if pat == "..." || pat == "" {
+				return true
+			}
+			if !strings.HasPrefix(pat, module) {
+				pat = module + "/" + pat
+			}
+			if base, ok := strings.CutSuffix(pat, "/..."); ok {
+				if path == base || strings.HasPrefix(path, base+"/") {
+					return true
+				}
+				continue
+			}
+			if path == pat {
+				return true
+			}
+		}
+		return false
+	}
+	var out []*loader.Package
+	for _, p := range pkgs {
+		if match(p.Path) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -8,43 +8,52 @@
 // Usage:
 //
 //	tracecheck [-min-procs N] [-min-events N] trace.json
+//
+// Exit codes follow the tools/internal/cli contract: 0 valid, 1 validation
+// findings, 2 usage or unreadable input.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
+	"io"
 
 	"quest/internal/tracing"
+	"quest/tools/internal/cli"
 )
 
+func command() *cli.Command {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	minProcs := fs.Int("min-procs", 0, "fail unless the trace carries at least this many processes (component tracks)")
+	minEvents := fs.Int("min-events", 1, "fail unless the trace carries at least this many events")
+	return &cli.Command{
+		Name:  "tracecheck",
+		Usage: "[-min-procs N] [-min-events N] trace.json",
+		NArgs: 1,
+		Flags: fs,
+		Run: func(args []string, stdout io.Writer) error {
+			path := args[0]
+			data, err := cli.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			rep, err := tracing.Validate(data)
+			if err != nil {
+				return cli.Failf("%s: %v", path, err)
+			}
+			if rep.Procs < *minProcs {
+				return cli.Failf("%s: %d process(es), want >= %d", path, rep.Procs, *minProcs)
+			}
+			if rep.Events < *minEvents {
+				return cli.Failf("%s: %d event(s), want >= %d", path, rep.Events, *minEvents)
+			}
+			fmt.Fprintf(stdout, "tracecheck: %s OK — %d event(s), %d process(es), %d track(s)\n",
+				path, rep.Events, rep.Procs, rep.Tracks)
+			return nil
+		},
+	}
+}
+
 func main() {
-	minProcs := flag.Int("min-procs", 0, "fail unless the trace carries at least this many processes (component tracks)")
-	minEvents := flag.Int("min-events", 1, "fail unless the trace carries at least this many events")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-procs N] [-min-events N] trace.json")
-		os.Exit(2)
-	}
-	path := flag.Arg(0)
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracecheck:", err)
-		os.Exit(1)
-	}
-	rep, err := tracing.Validate(data)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
-		os.Exit(1)
-	}
-	if rep.Procs < *minProcs {
-		fmt.Fprintf(os.Stderr, "tracecheck: %s: %d process(es), want >= %d\n", path, rep.Procs, *minProcs)
-		os.Exit(1)
-	}
-	if rep.Events < *minEvents {
-		fmt.Fprintf(os.Stderr, "tracecheck: %s: %d event(s), want >= %d\n", path, rep.Events, *minEvents)
-		os.Exit(1)
-	}
-	fmt.Printf("tracecheck: %s OK — %d event(s), %d process(es), %d track(s)\n",
-		path, rep.Events, rep.Procs, rep.Tracks)
+	command().Main()
 }
