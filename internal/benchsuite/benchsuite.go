@@ -171,6 +171,23 @@ func Cases(reg *metrics.Registry) []Case {
 				core.ThresholdIn(reg, []float64{1e-3}, []int{3}, 4, 1)
 			}
 		}},
+		{"threshold-cell-d3-batched", func(b *testing.B) {
+			// The same cell as threshold-cell-d3 through the lane-batched
+			// Pauli-frame engine; the two cases side by side track the
+			// batching speedup on every run.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.ThresholdBatched(reg, nil, []float64{1e-3}, []int{3}, 4, 1, core.SweepObs{})
+			}
+		}},
+		{"threshold-cell-d5-batched", func(b *testing.B) {
+			// A d=5 cell: scaling headroom the scalar engine's tableau cost
+			// made too slow to track per-push.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.ThresholdBatched(reg, nil, []float64{1e-3}, []int{5}, 4, 1, core.SweepObs{})
+			}
+		}},
 		{"machine-step-cycle", func(b *testing.B) {
 			cfg := core.DefaultMachineConfig()
 			nm := noise.Uniform(1e-4)

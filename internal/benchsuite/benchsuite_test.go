@@ -3,6 +3,8 @@ package benchsuite
 import (
 	"bytes"
 	"testing"
+
+	"quest/internal/metrics"
 )
 
 // TestRunProducesWellFormedReport runs the whole suite at one iteration per
@@ -13,8 +15,8 @@ func TestRunProducesWellFormedReport(t *testing.T) {
 	if rep.Schema != Schema {
 		t.Errorf("schema = %q, want %q", rep.Schema, Schema)
 	}
-	if len(rep.Results) != 8 {
-		t.Errorf("got %d cases, want 8", len(rep.Results))
+	if want := len(Cases(metrics.New())); len(rep.Results) != want {
+		t.Errorf("got %d cases, want %d", len(rep.Results), want)
 	}
 	seen := map[string]bool{}
 	for _, r := range rep.Results {

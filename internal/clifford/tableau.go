@@ -61,6 +61,18 @@ func New(n int, rng *rand.Rand) *Tableau {
 // N returns the number of qubits.
 func (t *Tableau) N() int { return t.n }
 
+// SetRNG rebinds the source of measurement randomness. Together with Reset
+// this lets a pooled tableau reproduce exactly the state of a fresh
+// New(n, rng): the row storage is trial-independent, only the state bits and
+// the random stream have to be rewound. A nil rng restores the fixed-seed
+// default of New.
+func (t *Tableau) SetRNG(rng *rand.Rand) {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	t.rng = rng
+}
+
 // Reset returns the state to |0...0>: destabilizer i = X_i, stabilizer i = Z_i.
 func (t *Tableau) Reset() {
 	for i := range t.x {

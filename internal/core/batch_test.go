@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"quest/internal/heatmap"
+	"quest/internal/ledger"
+	"quest/internal/metrics"
+)
+
+// thresholdSweep runs one sweep through either engine and returns the rows,
+// the raw ledger bytes and the heatmap JSON.
+func thresholdSweep(t *testing.T, batched bool, workers, trials int, ciWidth float64,
+	rates []float64, distances []int) ([]ThresholdRow, []byte, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	lw, err := ledger.NewWriter(&buf, "threshold-batch-test", map[string]string{"suite": "batch_test"}, 1)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	heat := heatmap.NewSet()
+	obs := SweepObs{Ledger: lw, Heat: heat, CIWidth: ciWidth}
+	var rows []ThresholdRow
+	if batched {
+		rows = ThresholdBatched(nil, nil, rates, distances, trials, workers, obs)
+	} else {
+		rows = ThresholdObserved(nil, nil, rates, distances, trials, workers, obs)
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	var hj bytes.Buffer
+	if err := heat.WriteJSON(&hj); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return rows, buf.Bytes(), hj.Bytes()
+}
+
+// TestThresholdBatchedMatchesScalar pins the batched engine's whole contract:
+// for every cell, Result rows, ledger bytes and heat JSON are byte-identical
+// to the scalar tableau oracle, across worker counts (including lane-count
+// mismatches), trial counts that leave a ragged final 64-trial lane, and CI
+// early stop. The scalar engine runs at workers=1 as the reference.
+func TestThresholdBatchedMatchesScalar(t *testing.T) {
+	rates := []float64{2e-3, 4e-3}
+	for _, tc := range []struct {
+		name     string
+		trials   int
+		ciWidth  float64
+		distance int
+	}{
+		{"single-trial", 1, 0, 3},
+		{"sub-lane", 7, 0, 3},
+		{"full-lane", 64, 0, 3},
+		{"ragged", 100, 0, 3},
+		{"two-lanes-ragged", 130, 0, 3},
+		{"ci-stop", 120, 0.15, 3},
+		{"d5-ragged", 30, 0, 5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dists := []int{tc.distance}
+			wantRows, wantLed, wantHeat := thresholdSweep(t, false, 1, tc.trials, tc.ciWidth, rates, dists)
+			for _, workers := range []int{1, 8} {
+				rows, led, heat := thresholdSweep(t, true, workers, tc.trials, tc.ciWidth, rates, dists)
+				if !reflect.DeepEqual(rows, wantRows) {
+					t.Errorf("workers=%d: batched rows differ from scalar oracle:\nbatched: %+v\nscalar:  %+v",
+						workers, rows, wantRows)
+				}
+				if !bytes.Equal(led, wantLed) {
+					t.Errorf("workers=%d: batched ledger bytes differ from scalar oracle", workers)
+				}
+				if !bytes.Equal(heat, wantHeat) {
+					t.Errorf("workers=%d: batched heat JSON differs from scalar oracle", workers)
+				}
+			}
+			if _, err := ledger.Validate(wantLed); err != nil {
+				t.Fatalf("ledgercheck rejects the sweep ledger: %v", err)
+			}
+		})
+	}
+}
+
+// TestThresholdRoundsTrackDistance is the regression test for the
+// hardcoded-4-rounds bug: every trial must absorb d noisy rounds plus the
+// final clean round, so the per-trial decoder.window.rounds count tracks the
+// code distance (the decode window is d rounds deep and must fill exactly
+// once before the final flush). Both engines are checked.
+func TestThresholdRoundsTrackDistance(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		for _, batched := range []bool{false, true} {
+			reg := metrics.New()
+			if batched {
+				ThresholdBatched(reg, nil, []float64{2e-3}, []int{d}, 1, 1, SweepObs{})
+			} else {
+				ThresholdObserved(reg, nil, []float64{2e-3}, []int{d}, 1, 1, SweepObs{})
+			}
+			got := reg.Counter("decoder.window.rounds").Value()
+			want := uint64(d + 1) // d noisy rounds + the final clean round
+			if got != want {
+				t.Errorf("d=%d batched=%v: %d window rounds absorbed per trial, want %d",
+					d, batched, got, want)
+			}
+		}
+	}
+}

@@ -132,6 +132,26 @@ func NewMachine(cfg MachineConfig) *Machine {
 // Master exposes the controller for direct driving.
 func (ma *Machine) Master() *master.Master { return ma.m }
 
+// Reset rewinds the machine to the state NewMachine built, with a new base
+// seed and freshly bound observation hooks. All trial-independent structure
+// (microcode stores, decoder lookup tables, tableau storage, layouts) is
+// kept; every piece of mutable state — substrate, masks, frames, queues,
+// factories, counters — is restored, so a Reset machine is observationally
+// identical to NewMachine with the same config (pinned by
+// TestMachineResetMatchesFresh). Monte-Carlo trial bodies pool machines on
+// this: per-trial cost drops from full machine construction to a reset.
+// Panics for NoC-routed machines, whose mesh has no drain guarantee.
+func (ma *Machine) Reset(seed int64, reg *metrics.Registry, tr *tracing.Tracer, heat *heatmap.Set) {
+	ma.cfg.Seed = seed
+	ma.cfg.Metrics = reg
+	ma.cfg.Tracer = tr
+	ma.cfg.Heat = heat
+	for i, t := range ma.m.Tiles() {
+		t.Reset(seed+int64(i), reg, tr, heat)
+	}
+	ma.m.Reset(reg, tr, heat)
+}
+
 // tileFor maps a program's logical qubit to (tile, patch-within-tile).
 func (ma *Machine) tileFor(q int) (tile, patch int, err error) {
 	tile = q / ma.cfg.PatchesPerTile

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"quest/internal/awg"
 	"quest/internal/clifford"
@@ -138,27 +139,42 @@ func MachineMemoryObserved(reg *metrics.Registry, tr *tracing.Tracer, physRate f
 	lat := compiler.NewLayout(base.Distance, 1).Lat
 	heat := obs.collector(lat.Rows, lat.Cols)
 	mobs := obs.observers(name, heat)
+	// Trials pool machines: every trial of this cell uses the identical
+	// machine shape (only the seed and the observation hooks vary), so the
+	// expensive trial-independent construction — microcode stores, decoder
+	// lookup tables, tableau storage — is paid roughly once per worker and
+	// Reset rewinds the rest. Reset-vs-fresh equality is pinned by
+	// TestMachineResetMatchesFresh; worker-count independence of the pooled
+	// results by TestMachineMemoryObservedDeterminism.
+	var pool sync.Pool
 	res := mc.RunObserved(trials, workers, cell, reg, tr, mobs,
 		func(trial int, seed uint64, ctx mc.TrialCtx) mc.Outcome {
-			cfg := DefaultMachineConfig()
-			cfg.PatchesPerTile = 1
-			cfg.Seed = int64(seed)
-			cfg.DecodeWindow = cfg.Distance
-			cfg.Metrics = ctx.Shard
-			cfg.Tracer = ctx.Trace
 			// The machine records into a trial-private set; its (single)
 			// grid is folded into the trial's engine shard at the end, so
 			// the merged heatmap stays worker-count independent.
 			var hs *heatmap.Set
 			if ctx.Heat != nil {
 				hs = heatmap.NewSet()
+			}
+			var m *Machine
+			if v := pool.Get(); v != nil {
+				m = v.(*Machine)
+				m.Reset(int64(seed), ctx.Shard, ctx.Trace, hs)
+			} else {
+				cfg := DefaultMachineConfig()
+				cfg.PatchesPerTile = 1
+				cfg.Seed = int64(seed)
+				cfg.DecodeWindow = cfg.Distance
+				cfg.Metrics = ctx.Shard
+				cfg.Tracer = ctx.Trace
 				cfg.Heat = hs
+				if physRate > 0 {
+					nm := noise.Uniform(physRate)
+					cfg.Noise = &nm
+				}
+				m = NewMachine(cfg)
 			}
-			if physRate > 0 {
-				nm := noise.Uniform(physRate)
-				cfg.Noise = &nm
-			}
-			m := NewMachine(cfg)
+			defer pool.Put(m)
 			mm := m.Master()
 			mm.StepCycle()
 			if err := mm.Dispatch(0, isa.LogicalInstr{Op: isa.LPrep0, Target: 0}); err != nil {
@@ -237,7 +253,10 @@ func logicalFailRateObserved(reg *metrics.Registry, tr *tracing.Tracer, d int, p
 			}
 			run(clean)
 			hist.Absorb(run(clean))
-			for round := 0; round < 4; round++ {
+			// The noisy-round count tracks the code distance: the window
+			// decoder is d rounds deep, so fewer rounds would never fill —
+			// let alone exercise — a d=5 or d=7 cell's own decode window.
+			for round := 0; round < d; round++ {
 				inj.SetLocation(round, 0)
 				win.Absorb(hist.Absorb(run(noisy)), frame)
 			}

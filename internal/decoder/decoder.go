@@ -163,6 +163,18 @@ func (f *PauliFrame) Apply(c Correction) {
 	}
 }
 
+// Reset drops every pending flip, returning the frame to its freshly
+// constructed state while keeping the bitset storage — the batched trial
+// engine pools frames across trials instead of reallocating per trial.
+func (f *PauliFrame) Reset() {
+	for i := range f.x {
+		f.x[i] = 0
+	}
+	for i := range f.z {
+		f.z[i] = 0
+	}
+}
+
 // Clear drops all pending flips on the given qubits (used when a patch is
 // re-prepared: the fresh state owes nothing to past corrections).
 func (f *PauliFrame) Clear(qubits []int) {

@@ -75,6 +75,18 @@ func (w *WindowDecoder) SetTracer(tr *tracing.Tracer, tid int) {
 // Pending returns the number of buffered defects.
 func (w *WindowDecoder) Pending() int { return len(w.buf) }
 
+// Reset returns the window to its freshly constructed state — empty buffer,
+// round clock at zero — while keeping the buffer storage and the wrapped
+// matcher (whose LUTs and scratch are trial-independent). The batched trial
+// engine pools window decoders across trials; resetting the round clock
+// keeps the per-trial tracer spans identical to a fresh decoder's.
+func (w *WindowDecoder) Reset() {
+	w.buf = w.buf[:0]
+	w.sinceFlush = 0
+	w.round = 0
+	w.openRound = 0
+}
+
 // Absorb buffers one round's defects and decodes into the frame when the
 // window fills. It returns the number of corrections applied (zero while the
 // window is still open).

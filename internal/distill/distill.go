@@ -182,6 +182,14 @@ func (f *Factory) Tick() int {
 // Produced returns the cumulative output.
 func (f *Factory) Produced() uint64 { return f.produced }
 
+// Reset drains the pipeline and zeroes the cumulative output, returning the
+// factory to its freshly constructed state (the configured latency is kept).
+// Pooled machines call this between Monte-Carlo trials.
+func (f *Factory) Reset() {
+	f.pipelineFill = 0
+	f.produced = 0
+}
+
 // FactoriesNeeded returns the factory count that sustains a demand of
 // tPerRound magic states per QECC round, each factory emitting one state
 // per latencyRounds.

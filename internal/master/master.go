@@ -191,6 +191,60 @@ func New(cfg Config, tiles []*mce.MCE) *Master {
 // Tiles returns the managed MCEs.
 func (m *Master) Tiles() []*mce.MCE { return m.tiles }
 
+// Reset rewinds the controller to the state New built, rebinding the
+// per-trial observation hooks (metrics shard, tracer, heat set). The tiles
+// are reset separately (they carry their own seeds); the decoders' lookup
+// tables are trial-independent and kept. The NoC mesh carries in-flight
+// packet state that no drain guarantees empty, so pooled resets are only
+// supported for the ideal-queue network model.
+func (m *Master) Reset(reg *metrics.Registry, tr *tracing.Tracer, heat *heatmap.Set) {
+	if m.mesh != nil {
+		panic("master: Reset with a NoC mesh is not supported; build a fresh machine")
+	}
+	if reg == nil {
+		reg = metrics.Default
+	}
+	if tr == nil {
+		tr = tracing.Default
+	}
+	for i := range m.queues {
+		m.queues[i] = m.queues[i][:0]
+	}
+	m.overflow = nil
+	for _, f := range m.factories {
+		f.Reset()
+	}
+	m.Logical.Reset()
+	m.Sync.Reset()
+	m.Cache.Reset()
+	m.Syndrome.Reset()
+	m.Logical.Bridge(reg.Counter("master.bus.logical.instr"), reg.Counter("master.bus.logical.bytes"))
+	m.Sync.Bridge(reg.Counter("master.bus.sync.instr"), reg.Counter("master.bus.sync.bytes"))
+	m.Cache.Bridge(reg.Counter("master.bus.cache.instr"), reg.Counter("master.bus.cache.bytes"))
+	m.Syndrome.Bridge(reg.Counter("master.bus.syndrome.records"), reg.Counter("master.bus.syndrome.bytes"))
+	for i, g := range m.global {
+		if hs, ok := g.(interface{ SetHeat(*heatmap.Collector) }); ok {
+			var c *heatmap.Collector
+			if heat != nil {
+				lat := m.tiles[i].Layout().Lat
+				c = heat.Collector(heatmap.GridName(lat.Rows, lat.Cols), lat.Rows, lat.Cols)
+			}
+			hs.SetHeat(c)
+		}
+	}
+	for i, w := range m.windows {
+		if w != nil {
+			w.Reset()
+			w.SetTracer(tr, i)
+		}
+	}
+	m.in = newMasterInstr(reg)
+	m.tr = tr
+	m.cycle = 0
+	m.escalatedTotal = 0
+	m.globalCorr = 0
+}
+
 // Dispatch queues one logical instruction for a tile. Bus bytes are metered
 // immediately (the packet crosses the global bus when sent).
 func (m *Master) Dispatch(tile int, in isa.LogicalInstr) error {

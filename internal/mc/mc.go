@@ -91,6 +91,14 @@ func Derive(seed uint64, lane uint64) uint64 {
 	return Seed(seed, lane)
 }
 
+// wallClock is the engine's single wall-clock read, shared by the scalar
+// and batched run loops. It feeds only the mc.worker_busy_ns gauge and the
+// mc.trial.ns latency histogram; seeds and simulated time derive from the
+// experiment seed via the SplitMix64 mixers, never from here.
+func wallClock() time.Time {
+	return time.Now() //quest:allow(seedsrc) wall-clock latency metric only; the value never reaches simulation state
+}
+
 // Wilson returns the Wilson score interval for k failures in n trials at
 // normal quantile z (1.96 for 95%).
 func Wilson(failures, trials int, z float64) (lo, hi float64) {
@@ -153,7 +161,10 @@ func RunWith(trials, workers int, cellSeed uint64, reg *metrics.Registry,
 // Progress is a snapshot handed to a progress sink while a run is in
 // flight. Completed and Failures count in completion order (display only —
 // they may differ between runs with different worker counts until the pool
-// drains); the Wilson interval is computed over exactly those counts. The
+// drains); the Wilson interval is computed over exactly those counts. Under
+// CI early stop the snapshots instead report the trial-ordered frontier of
+// consecutive completed trials, so Completed never exceeds the effective
+// trial count even when in-flight workers execute overrun trials. The
 // final call of a run carries Done=true and the trial-order-exact Result
 // numbers.
 type Progress struct {
@@ -306,6 +317,16 @@ func (st *stopState) observe(t int, fail bool) {
 	}
 }
 
+// snapshot returns the trial-ordered frontier and its prefix failure count.
+// The frontier is monotone and, once the stop rule fires, frozen at the
+// effective trial count — which is what makes it safe to publish as live
+// progress: it can never exceed the final Done snapshot.
+func (st *stopState) snapshot() (completed, failures int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.frontier, st.prefixFails
+}
+
 // progressState throttles and serializes the live-progress sink.
 type progressState struct {
 	mu        sync.Mutex
@@ -313,10 +334,17 @@ type progressState struct {
 	every     int
 	completed int
 	failures  int
+	// st is the CI-stop tracker when early stop is active, nil otherwise.
+	// With it set, emitted snapshots report the trial-ordered frontier
+	// instead of raw completion counts: workers keep executing a few
+	// overrun trials after the stop point, and counting those would let an
+	// intermediate Completed exceed the final Done count (the stream would
+	// run backwards).
+	st *stopState
 }
 
 // newProgressState builds the throttle, or returns nil when the sink is off.
-func newProgressState(fn func(Progress), every, trials int) *progressState {
+func newProgressState(fn func(Progress), every, trials int, st *stopState) *progressState {
 	if fn == nil {
 		return nil
 	}
@@ -326,7 +354,7 @@ func newProgressState(fn func(Progress), every, trials int) *progressState {
 			every = 1
 		}
 	}
-	return &progressState{fn: fn, every: every}
+	return &progressState{fn: fn, every: every, st: st}
 }
 
 func (ps *progressState) observe(fail bool) {
@@ -336,10 +364,18 @@ func (ps *progressState) observe(fail bool) {
 	if fail {
 		ps.failures++
 	}
-	if ps.completed%ps.every == 0 {
-		lo, hi := Wilson(ps.failures, ps.completed, 1.96)
-		ps.fn(Progress{Completed: ps.completed, Failures: ps.failures, WilsonLo: lo, WilsonHi: hi})
+	if ps.completed%ps.every != 0 {
+		return
 	}
+	completed, failures := ps.completed, ps.failures
+	if ps.st != nil {
+		completed, failures = ps.st.snapshot()
+		if completed == 0 {
+			return // nothing trial-ordered to report yet
+		}
+	}
+	lo, hi := Wilson(failures, completed, 1.96)
+	ps.fn(Progress{Completed: completed, Failures: failures, WilsonLo: lo, WilsonHi: hi})
 }
 
 // run is the single pool implementation behind Run/RunWith/RunTraced/
@@ -375,11 +411,11 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 	// closure captures plain values, not heap cells: the unobserved paths
 	// allocate nothing extra (pinned by TestRunWithAllocs).
 	st := newStopState(obs.CIWidth, obs.MinTrials, trials)
-	prog := newProgressState(obs.Progress, obs.ProgressEvery, trials)
+	prog := newProgressState(obs.Progress, obs.ProgressEvery, trials, st)
 	heatParent := obs.Heat
 	heatShards := makeHeatShards(heatParent, trials)
 	busyNs := make([]int64, workers) // per-worker time spent inside fn
-	start := time.Now()              //quest:allow(seedsrc) wall-clock latency metric only; the value never reaches simulation state
+	start := wallClock()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		if reg != nil {
@@ -407,7 +443,7 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 				if st != nil && t >= int(st.stopAt.Load()) {
 					return
 				}
-				t0 := time.Now() //quest:allow(seedsrc) wall-clock latency metric only; the value never reaches simulation state
+				t0 := wallClock()
 				var out Outcome
 				switch {
 				case ofn != nil:
@@ -422,9 +458,13 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 				default:
 					out = fn(t, TrialSeed(cellSeed, t), shard)
 				}
-				busyNs[w] += int64(time.Since(t0))
+				// Capture the duration once: busyNs (worker utilization)
+				// and the mc.trial.ns histogram must observe the same
+				// value, or the two can never reconcile.
+				dur := time.Since(t0)
+				busyNs[w] += int64(dur)
 				if shard != nil {
-					trialNs.Observe(float64(time.Since(t0)))
+					trialNs.Observe(float64(dur))
 					nTrials.Inc()
 					if out.Fail {
 						nFails.Inc()
@@ -460,12 +500,13 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 		for _, shard := range shards {
 			reg.Merge(shard)
 		}
+		var busy int64
+		for _, b := range busyNs {
+			busy += b
+		}
+		reg.Gauge("mc.worker_busy_ns").Set(float64(busy))
 		if elapsed > 0 {
 			reg.Gauge("mc.trials_per_sec").Set(float64(effective) / elapsed.Seconds())
-			var busy int64
-			for _, b := range busyNs {
-				busy += b
-			}
 			reg.Gauge("mc.worker_utilization").Set(
 				float64(busy) / (float64(elapsed) * float64(workers)))
 		}

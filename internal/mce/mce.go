@@ -244,6 +244,71 @@ func New(cfg Config) *MCE {
 	return m
 }
 
+// Reset returns the engine to the state New built, rebinding the per-trial
+// observation hooks: a fresh seed for the substrate and the noise injector,
+// a (possibly different) metrics shard, tracer and heat set. The expensive
+// trial-independent structures — the programmed microcode store, the local
+// decoder's lookup tables, the tableau's row storage and the rest-state mask
+// — are kept; everything mutable is rewound. Monte-Carlo trial bodies pool
+// MCEs (via Machine pooling) so per-trial construction cost is paid once per
+// worker instead of once per trial; the pooled-vs-fresh equivalence is pinned
+// by TestMachineResetMatchesFresh.
+func (m *MCE) Reset(seed int64, reg *metrics.Registry, tr *tracing.Tracer, heat *heatmap.Set) {
+	if reg == nil {
+		reg = metrics.Default
+	}
+	if tr == nil {
+		tr = tracing.Default
+	}
+	m.cfg.Seed = seed
+	m.cfg.Metrics = reg
+	m.cfg.Tracer = tr
+	m.cfg.Heat = heat
+	lat := m.cfg.Layout.Lat
+
+	m.tableau.SetRNG(rand.New(rand.NewSource(seed)))
+	m.tableau.Reset()
+	m.mask = m.baseMask.Clone()
+	m.inj = nil
+	if m.cfg.Noise != nil {
+		m.inj = noise.NewInjector(*m.cfg.Noise, seed+1)
+	}
+	m.store.ResetStreamed()
+
+	m.hist.Reset()
+	if heat != nil {
+		m.hist.SetHeat(heat.Collector(heatmap.GridName(lat.Rows, lat.Cols), lat.Rows, lat.Cols))
+	} else {
+		m.hist.SetHeat(nil)
+	}
+	m.frame.Reset()
+
+	m.buffer = m.buffer[:0]
+	clear(m.cache)
+	m.replayQ = m.replayQ[:0]
+	m.braids = m.braids[:0]
+	clear(m.busyPatch)
+	m.magicStates = 0
+
+	m.in = newInstr(reg)
+	m.tr = tr
+
+	m.cycle = 0
+	m.microOps, m.logicalRetired = 0, 0
+	m.cacheHits, m.cacheLoads, m.stalledT = 0, 0, 0
+
+	clear(m.pendingSynd)
+	clear(m.pendingData)
+	clear(m.measuring)
+	m.pendingUnmask = m.pendingUnmask[:0]
+
+	m.unit = awg.New(m.tableau, m.inj)
+	m.unit.MeasSink = m.sinkMeasurement
+	if m.cfg.Timing != nil {
+		m.unit.SetTiming(*m.cfg.Timing)
+	}
+}
+
 // ElapsedNs returns the wall-clock time of all executed sub-cycles (zero
 // unless the config carried a Timing).
 func (m *MCE) ElapsedNs() float64 { return m.unit.ElapsedNs() }

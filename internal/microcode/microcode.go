@@ -222,6 +222,11 @@ func (s *Store) CapacityBits() int {
 // BitsStreamed returns the cumulative bits read out of the microcode memory.
 func (s *Store) BitsStreamed() uint64 { return s.bitsStreamed }
 
+// ResetStreamed zeroes the streamed-bits meter. The programmed content — the
+// expensive part of NewStore — is immutable, so a pooled MCE resets only this
+// counter to make the store indistinguishable from a freshly programmed one.
+func (s *Store) ResetStreamed() { s.bitsStreamed = 0 }
+
 // ReplayCycle produces the QECC cycle's VLIW stream for the current mask.
 // All three designs produce the identical stream (the architecture changes
 // where instructions are stored, never what executes); they differ in the

@@ -1,0 +1,142 @@
+package noise
+
+import (
+	"math/rand"
+	"testing"
+
+	"quest/internal/clifford"
+)
+
+// TestReplayerMatchesInjector pins the Replayer's determinism contract: fed
+// the same (model, seed) and the same channel-call sequence as an Injector,
+// it reports exactly the faults the Injector injects — same sites, same
+// Paulis, same measurement flips — across a long mixed sequence that
+// exercises every channel. A single extra or missing RNG draw anywhere
+// desynchronizes the streams, so this is also a draw-order test.
+func TestReplayerMatchesInjector(t *testing.T) {
+	const n = 12
+	m := Model{Idle: 0.3, Gate1: 0.25, Gate2: 0.35, Prep: 0.2, Meas: 0.3}
+	const seed = 424242
+
+	inj := NewInjector(m, seed)
+	rep := NewReplayer(m, seed)
+	tb := clifford.New(n, rand.New(rand.NewSource(99)))
+
+	type fault struct {
+		q int
+		p clifford.Pauli
+	}
+	var want, got []fault
+
+	// A deterministic mixed site sequence: the site kind and qubits vary
+	// with the step index so every channel interleaves with every other.
+	for step := 0; step < 2000; step++ {
+		q := step % n
+		switch step % 5 {
+		case 0:
+			before := len(inj.Log())
+			inj.Idle(tb, q)
+			for _, f := range inj.Log()[before:] {
+				want = append(want, fault{f.Qubit, f.Pauli})
+			}
+			if p, ok := rep.Idle(); ok {
+				got = append(got, fault{q, p})
+			}
+		case 1:
+			before := len(inj.Log())
+			inj.AfterGate1(tb, q)
+			for _, f := range inj.Log()[before:] {
+				want = append(want, fault{f.Qubit, f.Pauli})
+			}
+			if p, ok := rep.AfterGate1(); ok {
+				got = append(got, fault{q, p})
+			}
+		case 2:
+			b := (q + 1) % n
+			before := len(inj.Log())
+			inj.AfterGate2(tb, q, b)
+			for _, f := range inj.Log()[before:] {
+				want = append(want, fault{f.Qubit, f.Pauli})
+			}
+			if pa, pb, ok := rep.AfterGate2(); ok {
+				if pa != clifford.PauliI {
+					got = append(got, fault{q, pa})
+				}
+				if pb != clifford.PauliI {
+					got = append(got, fault{b, pb})
+				}
+			}
+		case 3:
+			basisX := step%2 == 0
+			before := len(inj.Log())
+			inj.AfterPrep(tb, q, basisX)
+			for _, f := range inj.Log()[before:] {
+				want = append(want, fault{f.Qubit, f.Pauli})
+			}
+			if p, ok := rep.AfterPrep(basisX); ok {
+				got = append(got, fault{q, p})
+			}
+		case 4:
+			// The injector logs measurement flips with Pauli I.
+			if inj.FlipMeasurement(q) {
+				want = append(want, fault{q, clifford.PauliI})
+			}
+			if rep.FlipMeasurement() {
+				got = append(got, fault{q, clifford.PauliI})
+			}
+		}
+	}
+
+	if len(want) == 0 {
+		t.Fatal("the sequence injected no faults; the test exercises nothing")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayer reported %d faults, injector injected %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fault %d: replayer %+v, injector %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReplayerResetRewindsStream pins the pooled-scratch contract: Reset to
+// the same seed replays the identical stream, Reset to a different seed
+// diverges, and a Reset replayer is indistinguishable from a fresh one.
+func TestReplayerResetRewindsStream(t *testing.T) {
+	m := Uniform(0.3)
+	drawAll := func(r *Replayer, n int) []float64 {
+		var out []float64
+		for i := 0; i < n; i++ {
+			p, ok := r.Idle()
+			v := float64(p)
+			if ok {
+				v += 10
+			}
+			out = append(out, v)
+		}
+		return out
+	}
+	fresh := drawAll(NewReplayer(m, 7), 200)
+	r := NewReplayer(m, 99)
+	drawAll(r, 123) // consume an arbitrary prefix
+	r.Reset(m, 7)
+	reset := drawAll(r, 200)
+	for i := range fresh {
+		if fresh[i] != reset[i] {
+			t.Fatalf("draw %d: fresh %v, reset %v", i, fresh[i], reset[i])
+		}
+	}
+	r.Reset(m, 8)
+	other := drawAll(r, 200)
+	same := true
+	for i := range fresh {
+		if fresh[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("streams for seeds 7 and 8 are identical; Reset did not reseed")
+	}
+}
