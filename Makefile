@@ -7,6 +7,10 @@
 #   make trace-smoke  run a tiny traced sim and validate the Perfetto JSON
 #   make ledger-smoke run a small ledgered+heatmapped sweep and validate the
 #                     JSONL with ledgercheck
+#   make shard-smoke  prove process-count independence: a 2-process sharded
+#                     sweep merged with ledgermerge and a run resumed from a
+#                     truncated ledger must both be byte-identical (cmp) to
+#                     the 1-process run
 #   make lint         gofmt + vet + questvet (CI additionally runs staticcheck)
 #   make questvet     run only the custom analyzer suite (tools/questvet)
 
@@ -16,7 +20,7 @@ GO ?= go
 # fails if the two (or CI's version matrix) drift apart.
 GO_TOOLCHAIN := go1.24.0
 
-.PHONY: all build test test-short race bench bench-json benchdiff trace-smoke ledger-smoke lint vet fmt questvet experiments examples fuzz clean
+.PHONY: all build test test-short race bench bench-json benchdiff trace-smoke ledger-smoke shard-smoke lint vet fmt questvet experiments examples fuzz clean
 
 all: build vet test race
 
@@ -77,6 +81,27 @@ ledger-smoke:
 		-trace /tmp/quest_sweep_trace.json threshold
 	$(GO) run ./tools/ledgercheck -min-cells 6 -min-trials 60 /tmp/quest_ledger_smoke.jsonl
 
+# Prove process-count independence end to end — the same checks CI's
+# shard-smoke job runs. A 2-process sharded threshold sweep (deliberately
+# run with different -workers per shard) is merged by tools/ledgermerge and
+# cmp(1)'d byte-for-byte against the 1-process ledger; then the 1-process
+# ledger is truncated mid-cell with a torn final line (what a crash leaves)
+# and a -resume run must reconverge to the same bytes. All artifacts match
+# the ledger-shard-*.jsonl pattern covered by .gitignore and `make clean`.
+shard-smoke:
+	$(GO) run ./cmd/questbench -trials 16 -workers 4 -ledger ledger-shard-full.jsonl threshold
+	$(GO) run ./cmd/questbench -trials 16 -workers 2 -shard 0/2 -ledger ledger-shard-0.jsonl threshold
+	$(GO) run ./cmd/questbench -trials 16 -workers 3 -shard 1/2 -ledger ledger-shard-1.jsonl threshold
+	$(GO) run ./tools/ledgermerge -o ledger-shard-merged.jsonl ledger-shard-0.jsonl ledger-shard-1.jsonl
+	cmp ledger-shard-merged.jsonl ledger-shard-full.jsonl
+	$(GO) run ./tools/ledgercheck -min-cells 6 -min-trials 96 ledger-shard-merged.jsonl
+	head -n 40 ledger-shard-full.jsonl > ledger-shard-crash.jsonl
+	printf '{"record":"trial","cell":"thr' >> ledger-shard-crash.jsonl
+	$(GO) run ./cmd/questbench -trials 16 -workers 3 -resume ledger-shard-crash.jsonl \
+		-ledger ledger-shard-resumed.jsonl threshold
+	cmp ledger-shard-resumed.jsonl ledger-shard-full.jsonl
+	$(GO) run ./tools/ledgercheck -min-cells 6 -min-trials 96 ledger-shard-resumed.jsonl
+
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
 	$(GO) run ./cmd/questbench
@@ -102,4 +127,5 @@ fuzz:
 # corpora; TestCleanTargetPreservesTrackedTestdata pins the fix.
 clean:
 	git clean -fdx internal/qasm/testdata internal/qexe/testdata
+	rm -f ledger-shard-*.jsonl
 	$(GO) clean ./...

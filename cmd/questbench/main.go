@@ -16,6 +16,14 @@
 // stops each cell once its 95% interval is narrower than W, and -heatmap
 // FILE writes spatial defect/matching heatmaps as JSON (ASCII renders go to
 // stderr). All of it is worker-count independent.
+//
+// Distributed sweeps: -shard i/N runs only the statistical sweep cells owned
+// by shard i of N (round-robin in sweep order), each shard writing a
+// complete ledger that tools/ledgermerge recombines into bytes identical to
+// the 1-process run. -resume FILE restarts from a partial ledger left by an
+// interrupted run, replaying recorded cells and trials instead of
+// re-executing them; the finished ledger is byte-identical to an
+// uninterrupted run's.
 package main
 
 import (
@@ -102,11 +110,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// The shard cursor is shared by every statistical experiment this
+	// invocation runs, so cell ownership counts in global sweep order across
+	// threshold and memory alike — exactly how ledgermerge re-interleaves.
+	shard, err := core.NewShard(obs.Shard().Index, obs.Shard().Count)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	sweep = core.SweepObs{
 		Ledger:   lw,
 		Heat:     obs.HeatSet(),
 		CIWidth:  obs.CIStop(),
 		Progress: obs.SweepProgress(),
+		Shard:    shard,
+		Resume:   obs.Resume(),
 	}
 	if *flagMD {
 		// Full evaluation as a self-contained Markdown report.
@@ -320,9 +338,15 @@ func shardReg() *metrics.Registry {
 }
 
 func threshold() {
+	trows, err := core.ThresholdObserved(shardReg(), obs.Tracer(),
+		[]float64{2e-3, 1e-3, 5e-4}, []int{3, 5}, trialsOr(200), *flagWorkers, sweep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "threshold experiment failed:", err)
+		obs.Finish()
+		os.Exit(1)
+	}
 	var rows [][]string
-	for _, r := range core.ThresholdObserved(shardReg(), obs.Tracer(),
-		[]float64{2e-3, 1e-3, 5e-4}, []int{3, 5}, trialsOr(200), *flagWorkers, sweep) {
+	for _, r := range trows {
 		rows = append(rows, []string{
 			fmt.Sprintf("%.0e", r.PhysRate), strconv.Itoa(r.Distance),
 			fmt.Sprintf("%.4f", r.FailRate),
@@ -335,10 +359,14 @@ func threshold() {
 func memory() {
 	var rows [][]string
 	for _, p := range []float64{0, 1e-4, 5e-4} {
-		r, err := core.MachineMemoryObserved(shardReg(), obs.Tracer(), p, 8, trialsOr(40), *flagWorkers, sweep)
+		r, ran, err := core.MachineMemoryObserved(shardReg(), obs.Tracer(), p, 8, trialsOr(40), *flagWorkers, sweep)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "memory experiment failed:", err)
+			obs.Finish()
 			os.Exit(1)
+		}
+		if !ran {
+			continue
 		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%.0e", r.PhysRate), strconv.Itoa(r.Rounds),

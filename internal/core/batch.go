@@ -283,15 +283,23 @@ func (tp *thresholdProgram) runLane(p float64, seeds []uint64, ctx mc.BatchCtx, 
 }
 
 // ThresholdBatched is ThresholdObserved on the batched engine: identical
-// cells, seeds, observers and rows, ≥10× the trial throughput. The scalar
-// ThresholdObserved stays in-tree as the cross-check oracle; the equivalence
-// tests run both and compare Results, ledger bytes and heat JSON.
+// cells, seeds, observers, sharding and rows, ≥10× the trial throughput.
+// The scalar ThresholdObserved stays in-tree as the cross-check oracle; the
+// equivalence tests run both and compare Results, ledger bytes and heat
+// JSON. The error reports a sharding or resume mismatch, as in the scalar
+// entry point.
 func ThresholdBatched(reg *metrics.Registry, tr *tracing.Tracer, rates []float64, distances []int,
-	trials, workers int, obs SweepObs) []ThresholdRow {
+	trials, workers int, obs SweepObs) ([]ThresholdRow, error) {
 	var rows []ThresholdRow
 	for _, p := range rates {
 		for _, d := range distances {
-			res := logicalFailRateBatched(reg, tr, d, p, trials, workers, obs)
+			res, ran, err := logicalFailRateBatched(reg, tr, d, p, trials, workers, obs)
+			if err != nil {
+				return rows, err
+			}
+			if !ran {
+				continue
+			}
 			rows = append(rows, ThresholdRow{
 				PhysRate: p,
 				Distance: d,
@@ -302,17 +310,30 @@ func ThresholdBatched(reg *metrics.Registry, tr *tracing.Tracer, rates []float64
 			})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // logicalFailRateBatched mirrors logicalFailRateObserved cell for cell: same
 // cell seed, same cell name, same observer wiring — only the trial engine
-// differs.
+// differs. Resume replays completed cells verbatim like the scalar path; a
+// partially-recorded cell is re-executed from scratch (RunBatch claims
+// whole 64-trial lanes, so a ragged prior prefix would split one), which
+// costs time but not bytes — outcomes are pure functions of the seeds.
 func logicalFailRateBatched(reg *metrics.Registry, tr *tracing.Tracer, d int, p float64,
-	trials, workers int, obs SweepObs) mc.Result {
-	tp := thresholdProgramFor(d)
+	trials, workers int, obs SweepObs) (mc.Result, bool, error) {
 	cell := mc.Seed(ExperimentSeed, mc.F64(p), uint64(d))
 	name := fmt.Sprintf("threshold p=%g d=%d", p, d)
+	plan, err := obs.beginCell(name, cell, trials)
+	if err != nil {
+		return mc.Result{}, true, err
+	}
+	if plan.skip {
+		return mc.Result{}, false, nil
+	}
+	if plan.replayed != nil {
+		return *plan.replayed, true, nil
+	}
+	tp := thresholdProgramFor(d)
 	heat := obs.collector(tp.lat.Rows, tp.lat.Cols)
 	mobs := obs.observers(name, heat)
 	res := mc.RunBatch(trials, workers, cell, reg, tr, mobs,
@@ -320,5 +341,5 @@ func logicalFailRateBatched(reg *metrics.Registry, tr *tracing.Tracer, d int, p 
 			tp.runLane(p, seeds, ctx, out)
 		})
 	obs.closeCell(name, map[string]float64{"p": p, "d": float64(d)}, cell, trials, res)
-	return res
+	return res, true, nil
 }

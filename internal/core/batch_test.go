@@ -23,10 +23,14 @@ func thresholdSweep(t *testing.T, batched bool, workers, trials int, ciWidth flo
 	heat := heatmap.NewSet()
 	obs := SweepObs{Ledger: lw, Heat: heat, CIWidth: ciWidth}
 	var rows []ThresholdRow
+	var serr error
 	if batched {
-		rows = ThresholdBatched(nil, nil, rates, distances, trials, workers, obs)
+		rows, serr = ThresholdBatched(nil, nil, rates, distances, trials, workers, obs)
 	} else {
-		rows = ThresholdObserved(nil, nil, rates, distances, trials, workers, obs)
+		rows, serr = ThresholdObserved(nil, nil, rates, distances, trials, workers, obs)
+	}
+	if serr != nil {
+		t.Fatalf("sweep: %v", serr)
 	}
 	if err := lw.Flush(); err != nil {
 		t.Fatalf("Flush: %v", err)
@@ -92,9 +96,9 @@ func TestThresholdRoundsTrackDistance(t *testing.T) {
 		for _, batched := range []bool{false, true} {
 			reg := metrics.New()
 			if batched {
-				ThresholdBatched(reg, nil, []float64{2e-3}, []int{d}, 1, 1, SweepObs{})
+				_, _ = ThresholdBatched(reg, nil, []float64{2e-3}, []int{d}, 1, 1, SweepObs{})
 			} else {
-				ThresholdObserved(reg, nil, []float64{2e-3}, []int{d}, 1, 1, SweepObs{})
+				_, _ = ThresholdObserved(reg, nil, []float64{2e-3}, []int{d}, 1, 1, SweepObs{})
 			}
 			got := reg.Counter("decoder.window.rounds").Value()
 			want := uint64(d + 1) // d noisy rounds + the final clean round

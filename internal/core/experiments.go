@@ -467,7 +467,9 @@ func Threshold(rates []float64, distances []int, trials, workers int) []Threshol
 // are bit-identical with and without a registry: instruments only observe the
 // decode path, they never feed back into trial outcomes.
 func ThresholdIn(reg *metrics.Registry, rates []float64, distances []int, trials, workers int) []ThresholdRow {
-	return ThresholdObserved(reg, nil, rates, distances, trials, workers, SweepObs{})
+	// An empty SweepObs never shards or resumes, so no error is possible.
+	rows, _ := ThresholdObserved(reg, nil, rates, distances, trials, workers, SweepObs{})
+	return rows
 }
 
 // logicalFailRate runs `trials` independent noisy memory experiments at
@@ -477,7 +479,9 @@ func ThresholdIn(reg *metrics.Registry, rates []float64, distances []int, trials
 // Prep channel and under-reported failure rates; see CHANGES.md). The body
 // lives in logicalFailRateObserved (observe.go) with all hooks nil-gated.
 func logicalFailRate(reg *metrics.Registry, d int, p float64, trials, workers int) mc.Result {
-	return logicalFailRateObserved(reg, nil, d, p, trials, workers, SweepObs{})
+	// An empty SweepObs never shards or resumes: the cell always runs.
+	res, _, _ := logicalFailRateObserved(reg, nil, d, p, trials, workers, SweepObs{})
+	return res
 }
 
 // MemoryRow is one operating point of the machine-level logical memory
@@ -510,7 +514,9 @@ func MachineMemory(physRate float64, rounds, trials, workers int) (MemoryRow, er
 // skips instrumentation). The row is bit-identical with and without a
 // registry.
 func MachineMemoryIn(reg *metrics.Registry, physRate float64, rounds, trials, workers int) (MemoryRow, error) {
-	return MachineMemoryObserved(reg, nil, physRate, rounds, trials, workers, SweepObs{})
+	// An empty SweepObs never shards or resumes: the cell always runs.
+	row, _, err := MachineMemoryObserved(reg, nil, physRate, rounds, trials, workers, SweepObs{})
+	return row, err
 }
 
 // SyndromeRow compares upstream decode traffic against downstream

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -18,6 +19,42 @@ import (
 	"quest/internal/surface"
 	"quest/internal/tracing"
 )
+
+// Shard deterministically partitions a sweep's cells across Count
+// cooperating processes: the k-th cell the sweep reaches (counting in sweep
+// order, across every entry point sharing this Shard) belongs to shard
+// Index iff k ≡ Index (mod Count). The claim cursor advances on every cell
+// — owned or not — so N processes running the same binary with the same
+// arguments agree on the assignment with no coordination, and
+// tools/ledgermerge can splice their ledgers back together round-robin.
+type Shard struct {
+	index, count int
+	next         int
+}
+
+// NewShard builds the claim cursor for shard index of count. count < 2
+// returns nil — the unsharded cursor that claims every cell — so callers
+// can pass the parsed -shard flag through unconditionally.
+func NewShard(index, count int) (*Shard, error) {
+	if count < 2 {
+		return nil, nil
+	}
+	if index < 0 || index >= count {
+		return nil, fmt.Errorf("core: shard index %d outside [0, %d)", index, count)
+	}
+	return &Shard{index: index, count: count}, nil
+}
+
+// claim advances the cell cursor and reports whether this process owns the
+// cell. A nil Shard owns everything.
+func (s *Shard) claim() bool {
+	if s == nil {
+		return true
+	}
+	k := s.next
+	s.next++
+	return k%s.count == s.index
+}
 
 // SweepObs bundles the experiment-observability hooks a sweep driver wires
 // through the Monte-Carlo engine: a run ledger, spatial heat collection,
@@ -46,6 +83,93 @@ type SweepObs struct {
 	// Progress receives throttled per-cell progress snapshots. Nil
 	// disables the stream.
 	Progress func(cell string, p mc.Progress)
+	// Shard restricts the sweep to the cells this process owns (nil = all
+	// cells); see Shard and cmd/questbench -shard i/N. Skipped cells emit
+	// nothing — no ledger records, no rows — leaving each shard's ledger a
+	// complete, self-describing file tools/ledgermerge can recombine into
+	// the single-process bytes.
+	Shard *Shard
+	// Resume replays a partial ledger checkpoint from a crashed or
+	// interrupted run: cells it records completely are emitted verbatim
+	// without executing a trial, and a partially-recorded cell's leading
+	// trials feed the engine as prior outcomes (mc.Observers.Prior). Nil
+	// runs everything. The resumed ledger converges to the uninterrupted
+	// run's exact bytes; recorded seeds are checked against the sweep's
+	// own derivations so a checkpoint from a different config is refused,
+	// not spliced in.
+	Resume *ledger.Resume
+}
+
+// cellPlan is beginCell's verdict for one sweep cell.
+type cellPlan struct {
+	// skip: another shard owns the cell; emit nothing.
+	skip bool
+	// replayed: the resume checkpoint recorded the whole cell; its records
+	// are already re-emitted and this is its Result — do not execute.
+	replayed *mc.Result
+	// prior: leading trial outcomes replayed from a partial record, to run
+	// through mc.Observers.Prior. Empty means run the cell from scratch.
+	prior []mc.Outcome
+}
+
+// beginCell resolves sharding and resume for the named cell. It must be
+// called exactly once per cell, in sweep order, by every sweep entry point
+// — the shard cursor and the resume bookkeeping both count on it.
+func (s SweepObs) beginCell(name string, cellSeed uint64, budget int) (cellPlan, error) {
+	if !s.Shard.claim() {
+		return cellPlan{skip: true}, nil
+	}
+	if s.Resume == nil {
+		return cellPlan{}, nil
+	}
+	cc, partial, err := s.Resume.Take(name)
+	if err != nil {
+		return cellPlan{}, err
+	}
+	if cc != nil {
+		if got, want := cc.Summary.Seed, ledger.SeedString(cellSeed); got != want {
+			return cellPlan{}, fmt.Errorf("core: resume cell %q was recorded with seed %s but this sweep derives %s — refusing to splice a different experiment", name, got, want)
+		}
+		if cc.Summary.Budget != budget {
+			return cellPlan{}, fmt.Errorf("core: resume cell %q was recorded with a %d-trial budget but this sweep runs %d — rerun with the original flags", name, cc.Summary.Budget, budget)
+		}
+		for i, tr := range cc.Trials {
+			if got, want := tr.Seed, ledger.SeedString(mc.TrialSeed(cellSeed, i)); got != want {
+				return cellPlan{}, fmt.Errorf("core: resume cell %q trial %d seed %s, want %s — checkpoint does not match this configuration", name, i, got, want)
+			}
+		}
+		if s.Ledger != nil {
+			for _, tr := range cc.Trials {
+				s.Ledger.WriteTrial(tr)
+			}
+			s.Ledger.WriteCell(cc.Summary)
+		}
+		res := mc.Result{
+			Trials: cc.Summary.Trials, Failures: cc.Summary.Failures,
+			Rate: cc.Summary.Rate, WilsonLo: cc.Summary.WilsonLo, WilsonHi: cc.Summary.WilsonHi,
+		}
+		if cc.Summary.Err != "" {
+			res.Err = errors.New(cc.Summary.Err)
+		}
+		return cellPlan{replayed: &res}, nil
+	}
+	if len(partial) == 0 {
+		return cellPlan{}, nil
+	}
+	if len(partial) > budget {
+		return cellPlan{}, fmt.Errorf("core: resume cell %q records %d trials, beyond this sweep's %d-trial budget — rerun with the original flags", name, len(partial), budget)
+	}
+	prior := make([]mc.Outcome, len(partial))
+	for i, tr := range partial {
+		if got, want := tr.Seed, ledger.SeedString(mc.TrialSeed(cellSeed, i)); got != want {
+			return cellPlan{}, fmt.Errorf("core: resume cell %q trial %d seed %s, want %s — checkpoint does not match this configuration", name, i, got, want)
+		}
+		prior[i] = mc.Outcome{Fail: tr.Fail}
+		if tr.Err != "" {
+			prior[i].Err = errors.New(tr.Err)
+		}
+	}
+	return cellPlan{prior: prior}, nil
 }
 
 // observers assembles the engine-level hooks for one named sweep cell.
@@ -102,15 +226,23 @@ func errString(err error) string {
 
 // ThresholdObserved is ThresholdIn with tracing and the SweepObs hooks:
 // per-cell ledger records, defect/matched-chain heatmaps, optional CI early
-// stop (rows then report the effective trial count) and live progress.
-// Rows remain bit-identical for any worker count, with or without
-// observation.
+// stop (rows then report the effective trial count), live progress, cell
+// sharding and checkpoint resume. Rows remain bit-identical for any worker
+// count, with or without observation; under a Shard only the owned cells
+// produce rows (in sweep order). The error reports a sharding or resume
+// mismatch — never a trial-level failure, which stays in its row as before.
 func ThresholdObserved(reg *metrics.Registry, tr *tracing.Tracer, rates []float64, distances []int,
-	trials, workers int, obs SweepObs) []ThresholdRow {
+	trials, workers int, obs SweepObs) ([]ThresholdRow, error) {
 	var rows []ThresholdRow
 	for _, p := range rates {
 		for _, d := range distances {
-			res := logicalFailRateObserved(reg, tr, d, p, trials, workers, obs)
+			res, ran, err := logicalFailRateObserved(reg, tr, d, p, trials, workers, obs)
+			if err != nil {
+				return rows, err
+			}
+			if !ran {
+				continue
+			}
 			rows = append(rows, ThresholdRow{
 				PhysRate: p,
 				Distance: d,
@@ -121,17 +253,32 @@ func ThresholdObserved(reg *metrics.Registry, tr *tracing.Tracer, rates []float6
 			})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // MachineMemoryObserved is MachineMemoryIn with tracing and the SweepObs
 // hooks wired through the full machine: each trial machine records defect
 // births (MCE histories) and matched chains (master decoders) into a
-// trial-private heat set, merged in trial order.
+// trial-private heat set, merged in trial order. ran=false means the cell
+// belongs to another shard and nothing was emitted.
 func MachineMemoryObserved(reg *metrics.Registry, tr *tracing.Tracer, physRate float64,
-	rounds, trials, workers int, obs SweepObs) (MemoryRow, error) {
+	rounds, trials, workers int, obs SweepObs) (row MemoryRow, ran bool, err error) {
 	cell := mc.Seed(ExperimentSeed, mc.F64(physRate), uint64(rounds), 0x3e3)
 	name := fmt.Sprintf("memory p=%g rounds=%d", physRate, rounds)
+	plan, err := obs.beginCell(name, cell, trials)
+	if err != nil {
+		return MemoryRow{}, true, err
+	}
+	if plan.skip {
+		return MemoryRow{}, false, nil
+	}
+	if r := plan.replayed; r != nil {
+		return MemoryRow{
+			PhysRate: physRate, Rounds: rounds,
+			Failures: r.Failures, WilsonLo: r.WilsonLo, WilsonHi: r.WilsonHi,
+			Trials: r.Trials,
+		}, true, r.Err
+	}
 	// Every trial machine is shaped by DefaultMachineConfig with one patch
 	// per tile (see the trial body); resolve the shared parent collector
 	// for exactly that lattice.
@@ -139,6 +286,7 @@ func MachineMemoryObserved(reg *metrics.Registry, tr *tracing.Tracer, physRate f
 	lat := compiler.NewLayout(base.Distance, 1).Lat
 	heat := obs.collector(lat.Rows, lat.Cols)
 	mobs := obs.observers(name, heat)
+	mobs.Prior = plan.prior
 	// Trials pool machines: every trial of this cell uses the identical
 	// machine shape (only the seed and the observation hooks vary), so the
 	// expensive trial-independent construction — microcode stores, decoder
@@ -202,7 +350,7 @@ func MachineMemoryObserved(reg *metrics.Registry, tr *tracing.Tracer, physRate f
 			return mc.Outcome{Fail: got != 0}
 		})
 	obs.closeCell(name, map[string]float64{"p": physRate, "rounds": float64(rounds)}, cell, trials, res)
-	row := MemoryRow{
+	row = MemoryRow{
 		PhysRate: physRate,
 		Rounds:   rounds,
 		Failures: res.Failures,
@@ -210,20 +358,33 @@ func MachineMemoryObserved(reg *metrics.Registry, tr *tracing.Tracer, physRate f
 		WilsonHi: res.WilsonHi,
 		Trials:   res.Trials,
 	}
-	return row, res.Err
+	return row, true, res.Err
 }
 
 // logicalFailRateObserved is the single implementation behind
 // logicalFailRate and ThresholdObserved: the windowed-decode memory
-// experiment with every observation hook nil-gated.
+// experiment with every observation hook nil-gated. ran=false means the
+// cell belongs to another shard; err reports a resume/shard mismatch
+// (trial-level failures stay inside the Result as before).
 func logicalFailRateObserved(reg *metrics.Registry, tr *tracing.Tracer, d int, p float64,
-	trials, workers int, obs SweepObs) mc.Result {
-	lat := surface.NewPlanar(d)
-	words := surface.CompileCycle(lat, surface.Steane, nil)
+	trials, workers int, obs SweepObs) (mc.Result, bool, error) {
 	cell := mc.Seed(ExperimentSeed, mc.F64(p), uint64(d))
 	name := fmt.Sprintf("threshold p=%g d=%d", p, d)
+	plan, err := obs.beginCell(name, cell, trials)
+	if err != nil {
+		return mc.Result{}, true, err
+	}
+	if plan.skip {
+		return mc.Result{}, false, nil
+	}
+	if plan.replayed != nil {
+		return *plan.replayed, true, nil
+	}
+	lat := surface.NewPlanar(d)
+	words := surface.CompileCycle(lat, surface.Steane, nil)
 	heat := obs.collector(lat.Rows, lat.Cols)
 	mobs := obs.observers(name, heat)
+	mobs.Prior = plan.prior
 	res := mc.RunObserved(trials, workers, cell, reg, tr, mobs,
 		func(trial int, seed uint64, ctx mc.TrialCtx) mc.Outcome {
 			tb := clifford.New(lat.NumQubits(), rand.New(rand.NewSource(int64(mc.Derive(seed, 0)))))
@@ -268,5 +429,5 @@ func logicalFailRateObserved(reg *metrics.Registry, tr *tracing.Tracer, d int, p
 			return mc.Outcome{Fail: raw != 0 && raw != want}
 		})
 	obs.closeCell(name, map[string]float64{"p": p, "d": float64(d)}, cell, trials, res)
-	return res
+	return res, true, nil
 }

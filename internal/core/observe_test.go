@@ -21,8 +21,11 @@ func observedThreshold(t *testing.T, workers int, ciWidth float64, trials int) (
 		t.Fatalf("NewWriter: %v", err)
 	}
 	heat := heatmap.NewSet()
-	rows := ThresholdObserved(nil, nil, []float64{2e-3, 4e-3}, []int{3}, trials, workers,
+	rows, err := ThresholdObserved(nil, nil, []float64{2e-3, 4e-3}, []int{3}, trials, workers,
 		SweepObs{Ledger: lw, Heat: heat, CIWidth: ciWidth})
+	if err != nil {
+		t.Fatalf("ThresholdObserved: %v", err)
+	}
 	if err := lw.Flush(); err != nil {
 		t.Fatalf("Flush: %v", err)
 	}
@@ -67,8 +70,8 @@ func TestThresholdObservedLedgerDeterminism(t *testing.T) {
 func TestThresholdObservedCIStopSavesTrials(t *testing.T) {
 	const budget = 400
 	const width = 0.15
-	fixed := ThresholdObserved(nil, nil, []float64{2e-3}, []int{3}, budget, 4, SweepObs{})
-	stopped := ThresholdObserved(nil, nil, []float64{2e-3}, []int{3}, budget, 4, SweepObs{CIWidth: width})
+	fixed, _ := ThresholdObserved(nil, nil, []float64{2e-3}, []int{3}, budget, 4, SweepObs{})
+	stopped, _ := ThresholdObserved(nil, nil, []float64{2e-3}, []int{3}, budget, 4, SweepObs{CIWidth: width})
 	f, s := fixed[0], stopped[0]
 	if s.Trials >= budget {
 		t.Fatalf("ci-stop ran the whole budget (%d trials); widen the test margin", s.Trials)
@@ -90,7 +93,7 @@ func TestThresholdObservedCIStopSavesTrials(t *testing.T) {
 // the lattice's shape.
 func TestThresholdObservedHeatContent(t *testing.T) {
 	heat := heatmap.NewSet()
-	ThresholdObserved(nil, nil, []float64{4e-3}, []int{5}, 40, 4, SweepObs{Heat: heat})
+	_, _ = ThresholdObserved(nil, nil, []float64{4e-3}, []int{5}, 40, 4, SweepObs{Heat: heat})
 	names := heat.Names()
 	if len(names) != 1 {
 		t.Fatalf("heat set has grids %v, want exactly one", names)
@@ -109,12 +112,15 @@ func TestThresholdObservedHeatContent(t *testing.T) {
 // with a Done snapshot matching its row.
 func TestThresholdObservedProgressStream(t *testing.T) {
 	finals := map[string]mc.Progress{}
-	rows := ThresholdObserved(nil, nil, []float64{2e-3, 4e-3}, []int{3}, 60, 4,
+	rows, err := ThresholdObserved(nil, nil, []float64{2e-3, 4e-3}, []int{3}, 60, 4,
 		SweepObs{Progress: func(cell string, p mc.Progress) {
 			if p.Done {
 				finals[cell] = p
 			}
 		}})
+	if err != nil {
+		t.Fatalf("ThresholdObserved: %v", err)
+	}
 	if len(finals) != len(rows) {
 		t.Fatalf("Done snapshots for %d cells, want %d", len(finals), len(rows))
 	}
@@ -136,10 +142,13 @@ func TestMachineMemoryObservedDeterminism(t *testing.T) {
 			t.Fatalf("NewWriter: %v", err)
 		}
 		heat := heatmap.NewSet()
-		row, err := MachineMemoryObserved(nil, nil, 2e-3, 6, 10, workers,
+		row, ran, err := MachineMemoryObserved(nil, nil, 2e-3, 6, 10, workers,
 			SweepObs{Ledger: lw, Heat: heat})
 		if err != nil {
 			t.Fatalf("MachineMemoryObserved: %v", err)
+		}
+		if !ran {
+			t.Fatal("MachineMemoryObserved skipped its cell without a Shard")
 		}
 		if err := lw.Flush(); err != nil {
 			t.Fatalf("Flush: %v", err)

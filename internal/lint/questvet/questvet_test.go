@@ -45,6 +45,7 @@ func TestAppliesScoping(t *testing.T) {
 		{"nogate", "quest/internal/decoder/sub", true},
 		// Whole-module analyzers apply everywhere, tools included.
 		{"schemaver", "quest/tools/ledgercheck", true},
+		{"schemaver", "quest/tools/ledgermerge", true},
 		{"schemaver", "quest", true},
 	}
 	for _, c := range cases {

@@ -221,6 +221,20 @@ type Observers struct {
 	// trial order after the pool drains — the ledger writer's feed. It
 	// runs on the caller's goroutine.
 	Sink func(trial int, seed uint64, out Outcome)
+
+	// Prior replays previously-recorded outcomes for the run's leading
+	// trials — the checkpoint/resume hook. Trial t < len(Prior) is never
+	// executed: its outcome is taken verbatim from Prior[t] and fed to the
+	// reduction, the CI-stop frontier and the Sink exactly as if it had
+	// just run. Because outcomes are pure functions of (cellSeed, trial),
+	// a Prior prefix recorded by an earlier run leaves the Result and the
+	// ledger bytes identical to a full re-run — it only skips the work.
+	// Prefixes longer than the trial budget are truncated. Replayed trials
+	// are invisible to the wall-clock instruments (mc.trials counts only
+	// executed trials) and contribute empty heat shards; RunBatch ignores
+	// Prior entirely (its callers re-execute whole cells instead, which is
+	// slower but byte-identical).
+	Prior []Outcome
 }
 
 // defaultMinStopTrials floors the CI-stop rule: Wilson intervals over a
@@ -391,14 +405,26 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 	if trials <= 0 {
 		return Result{}
 	}
+	// Replayed prior outcomes occupy the leading trial slots without being
+	// executed: workers start claiming at the first live trial, and the
+	// CI-stop frontier consumes the replayed prefix first so a resumed run
+	// stops exactly where the uninterrupted run would have.
+	prior := len(obs.Prior)
+	if prior > trials {
+		prior = trials
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > trials {
-		workers = trials
+	if workers > trials-prior {
+		workers = trials - prior
 	}
 	outcomes := make([]Outcome, trials)
+	copy(outcomes, obs.Prior[:prior])
 	var next atomic.Int64
+	if prior > 0 {
+		next.Store(int64(prior))
+	}
 	var wg sync.WaitGroup
 	shards := make([]*metrics.Registry, workers)
 	// nil when tracing is off, and assigned exactly once so the goroutine
@@ -411,6 +437,14 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 	// closure captures plain values, not heap cells: the unobserved paths
 	// allocate nothing extra (pinned by TestRunWithAllocs).
 	st := newStopState(obs.CIWidth, obs.MinTrials, trials)
+	if st != nil {
+		// Feed the replayed prefix to the stop frontier before any worker
+		// starts: if the checkpointed run had already converged, stopAt
+		// drops below the first live trial and no worker claims anything.
+		for t := 0; t < prior; t++ {
+			st.observe(t, outcomes[t].Fail)
+		}
+	}
 	prog := newProgressState(obs.Progress, obs.ProgressEvery, trials, st)
 	heatParent := obs.Heat
 	heatShards := makeHeatShards(heatParent, trials)

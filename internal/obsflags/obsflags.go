@@ -17,6 +17,13 @@
 //	                     worker count
 //	-heatmap FILE        accumulate spatial defect/matching heatmaps and write
 //	                     them as JSON (plus ASCII renders on Log) at exit
+//	-shard i/N           run only the sweep cells owned by shard i of N; each
+//	                     shard writes a complete ledger, and tools/ledgermerge
+//	                     recombines N of them into the 1-process bytes
+//	-resume FILE         resume from a partial run ledger: completed cells are
+//	                     replayed verbatim, a partially-recorded cell's
+//	                     leading trials are fed to the engine as prior
+//	                     outcomes, and the rest executes normally
 //
 // Lifecycle: Register the flags before flag.Parse, Start after it (and before
 // the machine is built, so components resolving tracing.Default see the
@@ -27,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"maps"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -50,6 +58,12 @@ type Obs struct {
 	progress   *bool
 	ciStop     *float64
 	heatPath   *string
+	shardSpec  *string
+	resumePath *string
+
+	// shard and resume are the validated flag values, resolved by Start.
+	shard  ledger.ShardInfo
+	resume *ledger.Resume
 
 	ln  net.Listener
 	srv *http.Server
@@ -80,6 +94,10 @@ func Register(fs *flag.FlagSet) *Obs {
 			"stop each sweep cell once its 95% Wilson interval is narrower than this width (0 = fixed budget)"),
 		heatPath: fs.String("heatmap", "",
 			"write spatial defect/matching heatmaps as JSON to this file at exit"),
+		shardSpec: fs.String("shard", "",
+			"run shard i of N ('i/N', e.g. 0/2): only the sweep cells with global index ≡ i (mod N); merge the shard ledgers with tools/ledgermerge"),
+		resumePath: fs.String("resume", "",
+			"resume from this partial run ledger: replay its completed cells and trials, execute only the rest"),
 		Log: os.Stderr,
 	}
 }
@@ -117,6 +135,16 @@ func (o *Obs) ProgressEnabled() bool { return *o.progress }
 // which keeps the decode paths allocation-free). Valid after Start.
 func (o *Obs) HeatSet() *heatmap.Set { return o.heat }
 
+// Shard returns the validated -shard value (the zero ShardInfo when
+// unsharded). Valid after Start.
+func (o *Obs) Shard() ledger.ShardInfo { return o.shard }
+
+// Resume returns the parsed -resume checkpoint (nil when off). Valid after
+// Start, which reads the whole file into memory — so -resume and -ledger may
+// name the same path: the checkpoint is consumed before OpenLedger truncates
+// it.
+func (o *Obs) Resume() *ledger.Resume { return o.resume }
+
 // OpenLedger creates the -ledger file and writes its provenance header; it
 // returns (nil, nil) when -ledger is off. Call once, after Start and before
 // the sweep; Finish flushes and closes the file. The experiment name and
@@ -128,11 +156,23 @@ func (o *Obs) OpenLedger(experiment string, config map[string]string) (*ledger.W
 	if o.ledgerW != nil {
 		return nil, fmt.Errorf("ledger: OpenLedger called twice")
 	}
+	if o.resume != nil {
+		// The checkpoint must describe the run being resumed: same experiment,
+		// same flag provenance. Cell-level seed checks (core.SweepObs.Resume)
+		// catch deeper mismatches; this catches the obvious ones up front.
+		h := o.resume.Header()
+		if h.Experiment != experiment {
+			return nil, fmt.Errorf("ledger: -resume checkpoint is from experiment %q, this run is %q", h.Experiment, experiment)
+		}
+		if !maps.Equal(h.Config, config) {
+			return nil, fmt.Errorf("ledger: -resume checkpoint config %v does not match this run's %v — rerun with the original flags", h.Config, config)
+		}
+	}
 	f, err := os.Create(*o.ledgerPath)
 	if err != nil {
 		return nil, fmt.Errorf("ledger: %w", err)
 	}
-	lw, err := ledger.NewWriter(f, experiment, config, 1)
+	lw, err := ledger.NewShardWriter(f, experiment, config, 1, o.shard)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("ledger: %w", err)
@@ -180,6 +220,39 @@ func (o *Obs) Start() error {
 	if *o.ciStop < 0 || *o.ciStop >= 1 {
 		return fmt.Errorf("-ci-stop %v out of range: want a Wilson interval width in (0, 1), or 0 to disable", *o.ciStop)
 	}
+	shard, err := ledger.ParseShardSpec(*o.shardSpec)
+	if err != nil {
+		return fmt.Errorf("-shard: %w", err)
+	}
+	o.shard = shard
+	if *o.resumePath != "" {
+		if *o.heatPath != "" {
+			// Heat statistics are not recorded in the ledger, so a resumed
+			// run cannot reconstruct the skipped trials' contributions — the
+			// heatmap would silently undercount.
+			return fmt.Errorf("-resume cannot be combined with -heatmap: the ledger does not record heat, so replayed cells would be missing from it")
+		}
+		data, err := os.ReadFile(*o.resumePath)
+		if err != nil {
+			return fmt.Errorf("-resume: %w", err)
+		}
+		res, err := ledger.NewResume(data)
+		if err != nil {
+			return fmt.Errorf("-resume %s: %w", *o.resumePath, err)
+		}
+		h := res.Header()
+		if got := (ledger.ShardInfo{Index: h.ShardIndex, Count: h.ShardCount}); got != o.shard {
+			return fmt.Errorf("-resume %s: checkpoint is shard %q but this run is shard %q — resume each shard's ledger under its own -shard flag",
+				*o.resumePath, specOrUnsharded(got), specOrUnsharded(o.shard))
+		}
+		complete, partial := res.Counts()
+		fmt.Fprintf(o.Log, "resume: %s holds %d completed cell(s) and %d partial cell(s)", *o.resumePath, complete, partial)
+		if res.Truncated() {
+			fmt.Fprint(o.Log, " (torn final line dropped)")
+		}
+		fmt.Fprintln(o.Log)
+		o.resume = res
+	}
 	if *o.tracePath != "" {
 		tracing.Default = tracing.New(*o.traceBuf)
 	}
@@ -216,6 +289,12 @@ func (o *Obs) Start() error {
 // server shutdown. Safe to call when nothing was enabled.
 func (o *Obs) Finish() error {
 	var firstErr error
+	if o.resume != nil {
+		if left := o.resume.Unconsumed(); len(left) > 0 {
+			fmt.Fprintf(o.Log, "resume: warning: %d recorded cell(s) were never reached by this run (%q) — the checkpoint is from a different invocation and they were not carried forward\n",
+				len(left), left)
+		}
+	}
 	if *o.tracePath != "" && tracing.Default != nil {
 		if err := o.writeTrace(); err != nil {
 			firstErr = err
@@ -298,6 +377,15 @@ func (o *Obs) writeHeat() error {
 		fmt.Fprintln(o.Log, render)
 	}
 	return nil
+}
+
+// specOrUnsharded renders a ShardInfo for error messages ("unsharded"
+// instead of the empty string).
+func specOrUnsharded(s ledger.ShardInfo) string {
+	if !s.Sharded() {
+		return "unsharded"
+	}
+	return s.String()
 }
 
 func (o *Obs) writeTrace() error {
