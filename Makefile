@@ -11,6 +11,10 @@
 #                     sweep merged with ledgermerge and a run resumed from a
 #                     truncated ledger must both be byte-identical (cmp) to
 #                     the 1-process run
+#   make events-smoke run a 2-shard sweep streaming live quest-events/1
+#                     telemetry, validate both streams with questtop -check,
+#                     render the fleet view, and prove events are a pure
+#                     side-band (ledger bytes identical with events on/off)
 #   make lint         gofmt + vet + questvet (CI additionally runs staticcheck)
 #   make questvet     run only the custom analyzer suite (tools/questvet)
 
@@ -20,7 +24,7 @@ GO ?= go
 # fails if the two (or CI's version matrix) drift apart.
 GO_TOOLCHAIN := go1.24.0
 
-.PHONY: all build test test-short race bench bench-json benchdiff trace-smoke ledger-smoke shard-smoke lint vet fmt questvet experiments examples fuzz clean
+.PHONY: all build test test-short race bench bench-json benchdiff trace-smoke ledger-smoke shard-smoke events-smoke lint vet fmt questvet experiments examples fuzz clean
 
 all: build vet test race
 
@@ -102,6 +106,25 @@ shard-smoke:
 	cmp ledger-shard-resumed.jsonl ledger-shard-full.jsonl
 	$(GO) run ./tools/ledgercheck -min-cells 6 -min-trials 96 ledger-shard-resumed.jsonl
 
+# Live-telemetry smoke — the same checks CI's events-smoke job runs. A
+# 2-shard ledgered sweep streams quest-events/1 snapshots; questtop -check
+# validates each stream's schema and monotonicity plus the fleet's coherence
+# (one experiment, distinct shard indices), then renders the aggregate view.
+# Finally the telemetry-is-a-pure-side-band claim is checked end to end: the
+# shard-0 sweep rerun without -events must produce byte-identical ledger
+# bytes (cmp). Artifacts match events-shard-*.jsonl, covered by .gitignore
+# and `make clean`.
+events-smoke:
+	$(GO) run ./cmd/questbench -trials 16 -workers 2 -shard 0/2 \
+		-ledger events-shard-ledger-0.jsonl -events events-shard-0.jsonl threshold
+	$(GO) run ./cmd/questbench -trials 16 -workers 3 -shard 1/2 \
+		-ledger events-shard-ledger-1.jsonl -events events-shard-1.jsonl threshold
+	$(GO) run ./tools/questtop -check events-shard-0.jsonl events-shard-1.jsonl
+	$(GO) run ./tools/questtop events-shard-0.jsonl events-shard-1.jsonl
+	$(GO) run ./cmd/questbench -trials 16 -workers 2 -shard 0/2 \
+		-ledger events-shard-ledger-off.jsonl threshold
+	cmp events-shard-ledger-off.jsonl events-shard-ledger-0.jsonl
+
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
 	$(GO) run ./cmd/questbench
@@ -127,5 +150,5 @@ fuzz:
 # corpora; TestCleanTargetPreservesTrackedTestdata pins the fix.
 clean:
 	git clean -fdx internal/qasm/testdata internal/qexe/testdata
-	rm -f ledger-shard-*.jsonl
+	rm -f ledger-shard-*.jsonl events-shard-*.jsonl
 	$(GO) clean ./...

@@ -17,6 +17,13 @@
 // FILE writes spatial defect/matching heatmaps as JSON (ASCII renders go to
 // stderr). All of it is worker-count independent.
 //
+// Live telemetry: -events FILE streams quest-events/1 JSONL snapshots
+// (per-cell progress, trial rates, ETA, metrics deltas, runtime stats) while
+// the run is in flight; with -pprof the same stream is served live over SSE
+// on /events (plus a /healthz probe). Watch one or many shard streams with
+// tools/questtop. Telemetry is a pure side-band: ledger, heatmap and table
+// bytes are identical with events on or off.
+//
 // Distributed sweeps: -shard i/N runs only the statistical sweep cells owned
 // by shard i of N (round-robin in sweep order), each shard writing a
 // complete ledger that tools/ledgermerge recombines into bytes identical to
@@ -107,6 +114,17 @@ func main() {
 		"ci-stop": strconv.FormatFloat(obs.CIStop(), 'g', -1, 64),
 	})
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// The telemetry stream shares the ledger's provenance: same experiment
+	// name, same config (and the same deliberate -workers omission — events
+	// are operational, but the pairing with the ledger should be obvious).
+	if err := obs.OpenEvents("questbench", map[string]string{
+		"args":    strings.Join(args, " "),
+		"trials":  strconv.Itoa(*flagTrials),
+		"ci-stop": strconv.FormatFloat(obs.CIStop(), 'g', -1, 64),
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}

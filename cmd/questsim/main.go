@@ -32,6 +32,10 @@
 //	-ci-stop W           accepted for flag parity, but questsim runs a single
 //	                     simulation — adaptive stopping applies to questbench
 //	                     sweeps
+//	-events FILE         stream live quest-events/1 telemetry snapshots
+//	                     (idle-cycle progress, metrics deltas, runtime stats)
+//	                     as JSONL; with -pprof the stream is also served over
+//	                     SSE on /events (watch with tools/questtop)
 package main
 
 import (
@@ -73,6 +77,12 @@ func main() {
 	defer obs.Finish()
 	if obs.CIStop() > 0 {
 		fmt.Fprintln(obs.Log, "ci-stop: questsim runs a single simulation; adaptive stopping applies to questbench sweeps")
+	}
+	if err := obs.OpenEvents("questsim", map[string]string{
+		"program": *program,
+		"design":  strings.ToLower(*design),
+	}); err != nil {
+		log.Fatal(err)
 	}
 
 	cfg := quest.DefaultMachineConfig()
@@ -126,8 +136,15 @@ func main() {
 	}
 	for c := 0; c < *cycles; c++ {
 		m.Master().StepCycle()
-		if obs.ProgressEnabled() && ((c+1)%tick == 0 || c+1 == *cycles) {
-			fmt.Fprintf(obs.Log, "\ridle qecc cycles: %d/%d", c+1, *cycles)
+		if (c+1)%tick == 0 || c+1 == *cycles {
+			// Feed the idle-cycle phase to the telemetry sampler as one
+			// pseudo-cell (nil-gated: free when events are off).
+			obs.Events().ObserveCell("idle-cycles", mc.Progress{
+				Completed: c + 1, Budget: *cycles, Done: c+1 == *cycles,
+			})
+			if obs.ProgressEnabled() {
+				fmt.Fprintf(obs.Log, "\ridle qecc cycles: %d/%d", c+1, *cycles)
+			}
 		}
 	}
 	if obs.ProgressEnabled() && *cycles > 0 {

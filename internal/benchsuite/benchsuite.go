@@ -24,6 +24,8 @@ import (
 
 	"quest/internal/core"
 	"quest/internal/decoder"
+	"quest/internal/events"
+	"quest/internal/mc"
 	"quest/internal/metrics"
 	"quest/internal/noise"
 	"quest/internal/surface"
@@ -186,6 +188,19 @@ func Cases(reg *metrics.Registry) []Case {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				core.ThresholdBatched(reg, nil, []float64{1e-3}, []int{5}, 4, 1, core.SweepObs{})
+			}
+		}},
+		{"events-off-observe", func(b *testing.B) {
+			// With -events off the telemetry sampler is a nil pointer and
+			// every sweep progress emit hits its nil gate. This pins that
+			// disabled path at 0 allocs/op — the live telemetry analogue of
+			// the observers-off budgets the decoder cases pin.
+			var smp *events.Sampler
+			p := mc.Progress{Budget: 1 << 20, Failures: 3, WilsonLo: 0.1, WilsonHi: 0.2}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Completed = i
+				smp.ObserveCell("cell", p)
 			}
 		}},
 		{"machine-step-cycle", func(b *testing.B) {

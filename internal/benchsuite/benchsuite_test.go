@@ -51,3 +51,19 @@ func TestRunProducesWellFormedReport(t *testing.T) {
 		t.Errorf("round-trip mismatch: %+v vs %+v", back.Schema, rep.Schema)
 	}
 }
+
+// TestEventsOffObserveZeroAllocs pins the suite's events-off-observe case at
+// zero allocations per op: when -events is off the sampler is nil and the
+// progress hook must cost one branch, nothing more.
+func TestEventsOffObserveZeroAllocs(t *testing.T) {
+	for _, c := range Cases(metrics.New()) {
+		if c.Name != "events-off-observe" {
+			continue
+		}
+		if r := testing.Benchmark(c.Fn); r.AllocsPerOp() != 0 {
+			t.Errorf("events-off-observe: %d allocs/op, want 0", r.AllocsPerOp())
+		}
+		return
+	}
+	t.Fatal("suite is missing the events-off-observe case")
+}

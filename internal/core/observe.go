@@ -151,6 +151,16 @@ func (s SweepObs) beginCell(name string, cellSeed uint64, budget int) (cellPlan,
 		if cc.Summary.Err != "" {
 			res.Err = errors.New(cc.Summary.Err)
 		}
+		// A replayed cell never reaches the engine, so emit its terminal
+		// progress snapshot here — a live display (or events stream) should
+		// show resumed cells as done, not absent. Display-only, like every
+		// Progress emission.
+		if s.Progress != nil {
+			s.Progress(name, mc.Progress{
+				Completed: res.Trials, Failures: res.Failures, Budget: budget,
+				WilsonLo: res.WilsonLo, WilsonHi: res.WilsonHi, Done: true,
+			})
+		}
 		return cellPlan{replayed: &res}, nil
 	}
 	if len(partial) == 0 {

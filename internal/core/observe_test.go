@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+	"time"
 
+	"quest/internal/events"
 	"quest/internal/heatmap"
 	"quest/internal/ledger"
 	"quest/internal/mc"
+	"quest/internal/metrics"
 )
 
 // observedThreshold runs a small observed threshold sweep and returns the
@@ -172,5 +175,119 @@ func TestMachineMemoryObservedDeterminism(t *testing.T) {
 	}
 	if _, err := ledger.Validate(led1); err != nil {
 		t.Errorf("ledgercheck rejects the memory ledger: %v", err)
+	}
+}
+
+// TestThresholdObservedEventsPureSideband pins the telemetry acceptance
+// criterion: with a live events sampler wired into the progress stream, the
+// rows, ledger bytes and heatmap JSON are byte-identical to the events-off
+// run, for 1 and 8 workers alike — the sampler observes, it never perturbs.
+func TestThresholdObservedEventsPureSideband(t *testing.T) {
+	run := func(workers int, withEvents bool) ([]ThresholdRow, []byte, []byte, []byte) {
+		t.Helper()
+		var buf bytes.Buffer
+		lw, err := ledger.NewWriter(&buf, "threshold-test", map[string]string{"suite": "observe_test"}, 1)
+		if err != nil {
+			t.Fatalf("NewWriter: %v", err)
+		}
+		heat := heatmap.NewSet()
+		obs := SweepObs{Ledger: lw, Heat: heat, CIWidth: 0.15}
+		var evbuf bytes.Buffer
+		var smp *events.Sampler
+		if withEvents {
+			smp = events.NewSampler(events.NewWriter(&evbuf, nil), metrics.New())
+			if err := smp.Start(events.Header{Experiment: "threshold-test"}, time.Hour); err != nil {
+				t.Fatalf("sampler Start: %v", err)
+			}
+			obs.Progress = func(cell string, p mc.Progress) { smp.ObserveCell(cell, p) }
+		}
+		rows, err := ThresholdObserved(nil, nil, []float64{2e-3, 4e-3}, []int{3}, 120, workers, obs)
+		if err != nil {
+			t.Fatalf("ThresholdObserved: %v", err)
+		}
+		if err := smp.Stop(); err != nil {
+			t.Fatalf("sampler Stop: %v", err)
+		}
+		if err := lw.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		var hj bytes.Buffer
+		if err := heat.WriteJSON(&hj); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return rows, buf.Bytes(), hj.Bytes(), evbuf.Bytes()
+	}
+
+	offRows, offLed, offHeat, _ := run(1, false)
+	for _, workers := range []int{1, 8} {
+		rows, led, heat, ev := run(workers, true)
+		if !reflect.DeepEqual(rows, offRows) {
+			t.Errorf("workers=%d: rows differ with events on:\noff: %+v\non:  %+v", workers, offRows, rows)
+		}
+		if !bytes.Equal(led, offLed) {
+			t.Errorf("workers=%d: ledger bytes differ with events on", workers)
+		}
+		if !bytes.Equal(heat, offHeat) {
+			t.Errorf("workers=%d: heatmap JSON differs with events on", workers)
+		}
+		// The side-band itself must be a valid stream with both cells done.
+		rep, err := events.Validate(ev)
+		if err != nil {
+			t.Fatalf("workers=%d: event stream invalid: %v", workers, err)
+		}
+		if rep.Cells != 2 || rep.DoneCells != 2 {
+			t.Errorf("workers=%d: event report = %+v, want 2 done cells", workers, rep)
+		}
+	}
+}
+
+// TestBeginCellReplayEmitsDoneProgress pins that a resume-replayed cell
+// still surfaces on the progress stream (and thus in a live events view) as
+// a terminal Done snapshot carrying the recorded counts.
+func TestBeginCellReplayEmitsDoneProgress(t *testing.T) {
+	// Record a complete 2-cell sweep, then resume from it with a progress
+	// sink attached: both cells replay without executing a trial, and both
+	// must emit exactly one Done snapshot.
+	var buf bytes.Buffer
+	lw, err := ledger.NewWriter(&buf, "threshold-test", map[string]string{"suite": "observe_test"}, 1)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	if _, err := ThresholdObserved(nil, nil, []float64{2e-3, 4e-3}, []int{3}, 30, 4,
+		SweepObs{Ledger: lw}); err != nil {
+		t.Fatalf("ThresholdObserved: %v", err)
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	res, err := ledger.NewResume(buf.Bytes())
+	if err != nil {
+		t.Fatalf("NewResume: %v", err)
+	}
+	type snap struct {
+		cell string
+		p    mc.Progress
+	}
+	var got []snap
+	rows, err := ThresholdObserved(nil, nil, []float64{2e-3, 4e-3}, []int{3}, 30, 4, SweepObs{
+		Resume:   res,
+		Progress: func(cell string, p mc.Progress) { got = append(got, snap{cell, p}) },
+	})
+	if err != nil {
+		t.Fatalf("resumed ThresholdObserved: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d progress snapshots, want 2 (one per replayed cell): %+v", len(got), got)
+	}
+	for i, s := range got {
+		r := rows[i]
+		if !s.p.Done || s.p.Completed != r.Trials || s.p.Budget != 30 {
+			t.Errorf("snapshot %d = %+v, want Done with trials=%d budget=30", i, s.p, r.Trials)
+		}
+		lo, hi := mc.Wilson(s.p.Failures, s.p.Completed, 1.96)
+		if s.p.WilsonLo != lo || s.p.WilsonHi != hi || s.p.WilsonLo != r.WilsonLo {
+			t.Errorf("snapshot %d interval [%v, %v] inconsistent with recorded cell [%v, %v]",
+				i, s.p.WilsonLo, s.p.WilsonHi, r.WilsonLo, r.WilsonHi)
+		}
 	}
 }

@@ -1,0 +1,123 @@
+package events
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// subBuffer is each SSE subscriber's channel depth. A subscriber that falls
+// more than a buffer behind starts losing intermediate snapshots (counted,
+// never blocking the writer): telemetry favors the producer — a slow
+// monitoring client must not be able to stall the run it is watching.
+const subBuffer = 64
+
+// Broadcaster fans event-stream lines out to live SSE subscribers. It keeps
+// the header line so late subscribers still receive the stream provenance
+// first, exactly as a file reader would.
+type Broadcaster struct {
+	mu      sync.Mutex
+	header  []byte
+	subs    map[chan []byte]struct{}
+	dropped int
+}
+
+// NewBroadcaster returns an empty broadcaster.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: make(map[chan []byte]struct{})}
+}
+
+// setHeader records the header line for replay to future subscribers and
+// publishes it to current ones.
+func (b *Broadcaster) setHeader(line []byte) {
+	b.mu.Lock()
+	b.header = line
+	b.mu.Unlock()
+	b.publish(line)
+}
+
+// publish delivers line to every subscriber, dropping (and counting) sends
+// that would block on a full buffer.
+func (b *Broadcaster) publish(line []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ch := range b.subs { //quest:allow(detrange) independent per-subscriber sends; delivery order across subscribers is inherently unordered
+		select {
+		case ch <- line:
+		default:
+			b.dropped++
+		}
+	}
+}
+
+// Dropped reports how many lines were discarded on slow subscribers.
+func (b *Broadcaster) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// subscribe registers a new subscriber, delivering the header (if already
+// written) as its first line.
+func (b *Broadcaster) subscribe() chan []byte {
+	ch := make(chan []byte, subBuffer)
+	b.mu.Lock()
+	if b.header != nil {
+		ch <- b.header
+	}
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch
+}
+
+func (b *Broadcaster) unsubscribe(ch chan []byte) {
+	b.mu.Lock()
+	delete(b.subs, ch)
+	b.mu.Unlock()
+}
+
+// ServeHTTP streams the event feed as Server-Sent Events: each JSONL record
+// becomes one `data: {...}` frame, flushed immediately. The handler runs
+// until the client disconnects. `curl -N http://host/events` or questtop
+// pointed at the URL both read it directly.
+func (b *Broadcaster) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "events: streaming unsupported by this connection", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ch := b.subscribe()
+	defer b.unsubscribe(ch)
+	for {
+		select {
+		case line := <-ch:
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", line); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// Healthz returns a liveness handler reporting the sampler's state as JSON.
+// It answers even when events are off (nil sampler) so a supervisor can
+// always probe the process; with events on it additionally reports how many
+// snapshots have streamed.
+func Healthz(s *Sampler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if s == nil {
+			fmt.Fprintf(w, "{\"status\":\"ok\",\"events\":false}\n")
+			return
+		}
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"events\":true,\"snapshots\":%d}\n", s.Snapshots())
+	})
+}

@@ -6,9 +6,10 @@
 // observers off, the decoder's exact-match path ≤ 6 allocs/op with heat
 // off (TestRunWithAllocs, TestMatchHeatOffAllocs) — hold only because
 // every observability hook on a hot path costs exactly one predictable
-// branch when disabled. The recorder methods of *tracing.Tracer and
-// *heatmap.Collector are no-ops on a nil receiver, but an un-gated call
-// still evaluates its arguments: today those are integer conversions,
+// branch when disabled. The recorder methods of *tracing.Tracer,
+// *heatmap.Collector and the telemetry *events.Sampler are no-ops on a nil
+// receiver, but an un-gated call still evaluates its arguments: today those
+// are integer conversions,
 // tomorrow someone passes fmt.Sprintf and the off path allocates. nogate
 // therefore requires every call to a tracing/heatmap method in a hot-path
 // package to be dominated by a nil check of the same receiver expression —
@@ -48,6 +49,7 @@ var (
 	gatedTypes = map[string][]string{
 		"internal/tracing": {"Tracer"},
 		"internal/heatmap": {"Collector", "Set"},
+		"internal/events":  {"Sampler"},
 	}
 	instrumentTypes = map[string][]string{
 		"internal/metrics": {"Counter", "Gauge", "Histogram"},

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"quest/internal/events"
 	"quest/internal/heatmap"
+	"quest/internal/mc"
 	"quest/internal/metrics"
 	"quest/internal/tracing"
 )
@@ -12,6 +14,7 @@ import (
 type engine struct {
 	tr   *tracing.Tracer
 	heat *heatmap.Collector
+	smp  *events.Sampler
 	ops  *metrics.Counter
 	ns   *metrics.Histogram
 }
@@ -46,6 +49,16 @@ func (e *engine) ungatedHeat(r, c int) {
 func (e *engine) gatedHeat(r, c int) {
 	if e.heat != nil {
 		e.heat.Defect(r, c)
+	}
+}
+
+func (e *engine) ungatedSampler(p mc.Progress) {
+	e.smp.ObserveCell("cell", p) // want "not nil-gated"
+}
+
+func (e *engine) gatedSampler(p mc.Progress) {
+	if e.smp != nil {
+		e.smp.ObserveCell("cell", p)
 	}
 }
 

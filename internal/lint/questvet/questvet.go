@@ -46,12 +46,16 @@ func Suite() []ScopedAnalyzer {
 	return []ScopedAnalyzer{
 		// Packages whose map-iteration order can reach serialized output or
 		// report rows.
-		{detrange.Analyzer, []string{"mc", "core", "decoder", "noc", "ledger", "heatmap", "tracing", "metrics", "chart"}},
-		// Hot-path packages covered by the pinned alloc budgets.
-		{nogate.Analyzer, []string{"mce", "master", "decoder", "noc", "dram"}},
+		{detrange.Analyzer, []string{"mc", "core", "decoder", "noc", "ledger", "heatmap", "tracing", "metrics", "chart", "events"}},
+		// Hot-path packages covered by the pinned alloc budgets, plus the
+		// telemetry sampler whose events-off calls must stay free
+		// (TestObserveCellNilAllocs pins 0 allocs/op).
+		{nogate.Analyzer, []string{"mce", "master", "decoder", "noc", "dram", "events"}},
 		// Simulation/Monte-Carlo packages where ambient entropy would break
-		// (config, seed) replayability.
-		{seedsrc.Analyzer, []string{"mc", "core", "mce", "master", "decoder", "noc", "dram", "noise", "clifford", "surface", "distill", "concat"}},
+		// (config, seed) replayability. events is included so its wall-clock
+		// reads (telemetry timestamps, the one sanctioned use) stay visibly
+		// suppressed rather than silently unpoliced.
+		{seedsrc.Analyzer, []string{"mc", "core", "mce", "master", "decoder", "noc", "dram", "noise", "clifford", "surface", "distill", "concat", "events"}},
 		// Schema constants are a whole-module concern.
 		{schemaver.Analyzer, nil},
 	}

@@ -168,8 +168,12 @@ func RunWith(trials, workers int, cellSeed uint64, reg *metrics.Registry,
 // final call of a run carries Done=true and the trial-order-exact Result
 // numbers.
 type Progress struct {
-	Completed          int
-	Failures           int
+	Completed int
+	Failures  int
+	// Budget is the run's requested trial count — the denominator a live
+	// display needs for percent-complete and ETA. Under CI early stop the
+	// run may finish below it.
+	Budget             int
 	WilsonLo, WilsonHi float64
 	Done               bool
 }
@@ -346,6 +350,7 @@ type progressState struct {
 	mu        sync.Mutex
 	fn        func(Progress)
 	every     int
+	budget    int
 	completed int
 	failures  int
 	// st is the CI-stop tracker when early stop is active, nil otherwise.
@@ -368,7 +373,7 @@ func newProgressState(fn func(Progress), every, trials int, st *stopState) *prog
 			every = 1
 		}
 	}
-	return &progressState{fn: fn, every: every, st: st}
+	return &progressState{fn: fn, every: every, budget: trials, st: st}
 }
 
 func (ps *progressState) observe(fail bool) {
@@ -389,7 +394,7 @@ func (ps *progressState) observe(fail bool) {
 		}
 	}
 	lo, hi := Wilson(failures, completed, 1.96)
-	ps.fn(Progress{Completed: completed, Failures: failures, WilsonLo: lo, WilsonHi: hi})
+	ps.fn(Progress{Completed: completed, Failures: failures, Budget: ps.budget, WilsonLo: lo, WilsonHi: hi})
 }
 
 // run is the single pool implementation behind Run/RunWith/RunTraced/
@@ -569,7 +574,7 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 	}
 	if prog != nil {
 		prog.mu.Lock() // pairs with worker emits; also makes -race happy
-		prog.fn(Progress{Completed: effective, Failures: res.Failures,
+		prog.fn(Progress{Completed: effective, Failures: res.Failures, Budget: prog.budget,
 			WilsonLo: res.WilsonLo, WilsonHi: res.WilsonHi, Done: true})
 		prog.mu.Unlock()
 	}

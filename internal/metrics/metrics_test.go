@@ -275,3 +275,52 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(float64(i&0xffff) + 1)
 	}
 }
+
+// TestSnapshotDelta pins the per-interval delta semantics the quest-events/1
+// stream relies on: counters and histogram count/sum subtract, gauges are
+// instantaneous, unchanged instruments vanish, and instruments new since the
+// previous snapshot contribute their full value.
+func TestSnapshotDelta(t *testing.T) {
+	r := New()
+	r.Counter("trials").Add(100)
+	r.Counter("idle").Add(7)
+	r.Gauge("busy").Set(0.5)
+	r.Gauge("steady").Set(1.0)
+	h := r.Histogram("lat", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	prev := r.Snapshot()
+
+	r.Counter("trials").Add(40)
+	r.Counter("fresh").Add(3) // appears between snapshots
+	r.Gauge("busy").Set(0.8)
+	h.Observe(500)
+	h.Observe(500)
+	d := r.Snapshot().Delta(prev)
+
+	if len(d.Counters) != 2 ||
+		d.Counters[0] != (CounterSnapshot{Name: "fresh", Value: 3}) ||
+		d.Counters[1] != (CounterSnapshot{Name: "trials", Value: 40}) {
+		t.Fatalf("counters = %+v", d.Counters)
+	}
+	if len(d.Gauges) != 1 || d.Gauges[0] != (GaugeSnapshot{Name: "busy", Value: 0.8}) {
+		t.Fatalf("gauges = %+v", d.Gauges)
+	}
+	if len(d.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", d.Histograms)
+	}
+	hs := d.Histograms[0].Summary
+	if hs.Count != 2 || hs.Sum != 1000 || hs.Mean != 500 {
+		t.Fatalf("histogram delta = %+v, want count=2 sum=1000 mean=500", hs)
+	}
+	// Min/max stay cumulative: lifetime extremes, not interval extremes.
+	if hs.Min != 5 || hs.Max != 500 {
+		t.Fatalf("histogram extremes = min %v max %v, want lifetime 5/500", hs.Min, hs.Max)
+	}
+
+	// No change at all deltas to an empty snapshot.
+	empty := r.Snapshot().Delta(r.Snapshot())
+	if len(empty.Counters)+len(empty.Gauges)+len(empty.Histograms) != 0 {
+		t.Fatalf("idle delta = %+v, want empty", empty)
+	}
+}

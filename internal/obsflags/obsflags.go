@@ -24,6 +24,13 @@
 //	                     replayed verbatim, a partially-recorded cell's
 //	                     leading trials are fed to the engine as prior
 //	                     outcomes, and the rest executes normally
+//	-events FILE         stream live quest-events/1 telemetry snapshots
+//	                     (per-cell progress/rates/ETA, metrics deltas, runtime
+//	                     stats) as JSONL to FILE ('-' = stdout); watch one or
+//	                     many with tools/questtop
+//
+// With -pprof, the HTTP server additionally serves the live event stream as
+// Server-Sent Events on /events and a liveness probe on /healthz.
 //
 // Lifecycle: Register the flags before flag.Parse, Start after it (and before
 // the machine is built, so components resolving tracing.Default see the
@@ -39,8 +46,13 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"unicode/utf8"
 
 	"quest/internal/chart"
+	"quest/internal/events"
 	"quest/internal/heatmap"
 	"quest/internal/ledger"
 	"quest/internal/mc"
@@ -60,6 +72,7 @@ type Obs struct {
 	heatPath   *string
 	shardSpec  *string
 	resumePath *string
+	eventsPath *string
 
 	// shard and resume are the validated flag values, resolved by Start.
 	shard  ledger.ShardInfo
@@ -71,6 +84,15 @@ type Obs struct {
 	ledgerFile *os.File
 	ledgerW    *ledger.Writer
 	heat       *heatmap.Set
+
+	// bcast is the SSE fan-out, created by Start alongside the -pprof server
+	// so /events can be registered on the mux before OpenEvents runs; sampler
+	// is stored by OpenEvents and read by HTTP handlers at request time,
+	// hence the atomic.
+	bcast        *events.Broadcaster
+	sampler      atomic.Pointer[events.Sampler]
+	eventsFile   *os.File
+	eventsOpened bool
 	// Log is where status lines and metric dumps go (default os.Stderr).
 	Log io.Writer
 }
@@ -98,6 +120,8 @@ func Register(fs *flag.FlagSet) *Obs {
 			"run shard i of N ('i/N', e.g. 0/2): only the sweep cells with global index ≡ i (mod N); merge the shard ledgers with tools/ledgermerge"),
 		resumePath: fs.String("resume", "",
 			"resume from this partial run ledger: replay its completed cells and trials, execute only the rest"),
+		eventsPath: fs.String("events", "",
+			"stream live quest-events/1 telemetry snapshots as JSONL to this file ('-' = stdout); watch with tools/questtop"),
 		Log: os.Stderr,
 	}
 }
@@ -110,10 +134,11 @@ func (o *Obs) MetricsFormat() string { return *o.metricsFmt }
 
 // ShardReg returns the registry Monte-Carlo drivers should aggregate
 // per-worker shards into: metrics.Default when -metrics (or -pprof, which
-// serves the registry live) is requested, nil otherwise so the metrics-off
-// path stays allocation-free.
+// serves the registry live, or -events, whose snapshots carry registry
+// deltas) is requested, nil otherwise so the metrics-off path stays
+// allocation-free.
 func (o *Obs) ShardReg() *metrics.Registry {
-	if *o.metricsFmt != "" || *o.pprofAddr != "" {
+	if *o.metricsFmt != "" || *o.pprofAddr != "" || *o.eventsPath != "" {
 		return metrics.Default
 	}
 	return nil
@@ -181,23 +206,134 @@ func (o *Obs) OpenLedger(experiment string, config map[string]string) (*ledger.W
 	return lw, nil
 }
 
-// SweepProgress returns the cell-labelled live progress renderer for -progress
-// (nil when off). Snapshots overwrite one status line per cell on Log; the
-// Done snapshot finishes the line. The stream reflects live completion order
-// and is display only — ledger/heatmap/row contents stay deterministic.
+// SweepProgress returns the cell-labelled live progress sink for -progress
+// and/or -events (nil when both are off). With -progress, snapshots
+// overwrite one status line per cell on Log and the Done snapshot finishes
+// the line; with events, every snapshot also feeds the telemetry sampler.
+// The stream reflects live completion order and is display only —
+// ledger/heatmap/row contents stay deterministic.
 func (o *Obs) SweepProgress() func(cell string, p mc.Progress) {
-	if !*o.progress {
+	if !*o.progress && !o.EventsEnabled() {
 		return nil
 	}
+	// lastLen is the rune width of the last in-place status line: a shorter
+	// line would otherwise leave the tail of its longer predecessor on
+	// screen after the \r overwrite, so render pads to the previous width.
+	// Cells run sequentially and progressState serializes emits, so a plain
+	// closure variable suffices.
+	lastLen := 0
 	return func(cell string, p mc.Progress) {
-		if p.Done {
-			fmt.Fprintf(o.Log, "\r%s: %d trials, %d failures, CI [%.4f, %.4f] done\n",
-				cell, p.Completed, p.Failures, p.WilsonLo, p.WilsonHi)
+		if smp := o.sampler.Load(); smp != nil {
+			smp.ObserveCell(cell, p) // pure side-band; free when events off
+		}
+		if !*o.progress {
 			return
 		}
-		fmt.Fprintf(o.Log, "\r%s: %d trials, %d failures, CI width %.4f",
-			cell, p.Completed, p.Failures, p.WilsonHi-p.WilsonLo)
+		var line string
+		if p.Done {
+			line = fmt.Sprintf("%s: %d trials, %d failures, CI [%.4f, %.4f] done",
+				cell, p.Completed, p.Failures, p.WilsonLo, p.WilsonHi)
+		} else {
+			line = fmt.Sprintf("%s: %d trials, %d failures, CI width %.4f",
+				cell, p.Completed, p.Failures, p.WilsonHi-p.WilsonLo)
+		}
+		width := utf8.RuneCountInString(line)
+		pad := ""
+		if width < lastLen {
+			pad = strings.Repeat(" ", lastLen-width)
+		}
+		if p.Done {
+			fmt.Fprintf(o.Log, "\r%s%s\n", line, pad)
+			lastLen = 0
+			return
+		}
+		fmt.Fprintf(o.Log, "\r%s%s", line, pad)
+		lastLen = width
 	}
+}
+
+// EventsEnabled reports whether live telemetry sampling is on: -events
+// writes the stream to a file, and -pprof serves it over SSE on /events —
+// either one activates the sampler.
+func (o *Obs) EventsEnabled() bool { return *o.eventsPath != "" || *o.pprofAddr != "" }
+
+// Events returns the live telemetry sampler (nil when events are off, which
+// every sampler method treats as a no-op). Valid after OpenEvents; binaries
+// with non-sweep progress (questsim's cycle loop) feed it directly via
+// ObserveCell.
+func (o *Obs) Events() *events.Sampler { return o.sampler.Load() }
+
+// OpenEvents starts the live telemetry sampler: it writes the quest-events/1
+// provenance header (stamping the run's shard identity) and begins emitting
+// periodic snapshots to the -events file and/or the /events SSE feed. No-op
+// when EventsEnabled is false. Call once, after Start and before the sweep;
+// Finish emits the final snapshot and closes the file.
+func (o *Obs) OpenEvents(experiment string, config map[string]string) error {
+	if !o.EventsEnabled() {
+		return nil
+	}
+	if o.eventsOpened {
+		return fmt.Errorf("events: OpenEvents called twice")
+	}
+	var w io.Writer
+	switch *o.eventsPath {
+	case "":
+		// -pprof without -events: SSE-only stream, no file.
+	case "-":
+		w = os.Stdout
+	default:
+		f, err := os.Create(*o.eventsPath)
+		if err != nil {
+			return fmt.Errorf("events: %w", err)
+		}
+		o.eventsFile = f
+		w = f
+	}
+	smp := events.NewSampler(events.NewWriter(w, o.bcast), o.ShardReg())
+	host, _ := os.Hostname()
+	h := events.Header{
+		Experiment: experiment,
+		GoVersion:  runtime.Version(),
+		Host:       host,
+		PID:        os.Getpid(),
+		ShardIndex: o.shard.Index,
+		ShardCount: o.shard.Count,
+		Config:     config,
+	}
+	if err := smp.Start(h, 0); err != nil {
+		if o.eventsFile != nil {
+			o.eventsFile.Close()
+			o.eventsFile = nil
+		}
+		return err
+	}
+	o.eventsOpened = true
+	o.sampler.Store(smp)
+	return nil
+}
+
+// closeEvents stops the sampler (emitting the final snapshot) and closes
+// the -events file.
+func (o *Obs) closeEvents() error {
+	smp := o.sampler.Load()
+	o.sampler.Store(nil)
+	var err error
+	snaps := 0
+	if smp != nil {
+		err = smp.Stop()
+		snaps = smp.Snapshots()
+	}
+	if f := o.eventsFile; f != nil {
+		o.eventsFile = nil
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			fmt.Fprintf(o.Log, "events: %d snapshot(s) written to %s (watch with questtop)\n",
+				snaps, *o.eventsPath)
+		}
+	}
+	return err
 }
 
 // Addr returns the observability server's listen address ("" when -pprof is
@@ -219,6 +355,9 @@ func (o *Obs) Start() error {
 	}
 	if *o.ciStop < 0 || *o.ciStop >= 1 {
 		return fmt.Errorf("-ci-stop %v out of range: want a Wilson interval width in (0, 1), or 0 to disable", *o.ciStop)
+	}
+	if *o.traceBuf < 0 {
+		return fmt.Errorf("-trace-buf %d out of range: want a ring capacity in events, or 0 for the default %d", *o.traceBuf, tracing.DefaultCapacity)
 	}
 	shard, err := ledger.ParseShardSpec(*o.shardSpec)
 	if err != nil {
@@ -271,6 +410,15 @@ func (o *Obs) Start() error {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.Handle("/metrics", metrics.Handler(metrics.Default))
+		// The SSE feed and liveness probe ride the same server. The
+		// broadcaster exists from here so /events subscribers connected
+		// before OpenEvents still get the header when the stream starts;
+		// /healthz resolves the sampler per request (it is stored later).
+		o.bcast = events.NewBroadcaster()
+		mux.Handle("/events", o.bcast)
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			events.Healthz(o.sampler.Load()).ServeHTTP(w, r)
+		})
 		o.ln = ln
 		o.srv = &http.Server{Handler: mux}
 		go func() {
@@ -278,7 +426,7 @@ func (o *Obs) Start() error {
 				fmt.Fprintln(o.Log, "pprof server:", err)
 			}
 		}()
-		fmt.Fprintf(o.Log, "observability: serving pprof and /metrics on http://%s/\n", o.Addr())
+		fmt.Fprintf(o.Log, "observability: serving pprof, /metrics, /events and /healthz on http://%s/\n", o.Addr())
 	}
 	return nil
 }
@@ -295,9 +443,20 @@ func (o *Obs) Finish() error {
 				len(left), left)
 		}
 	}
+	if o.eventsOpened {
+		o.eventsOpened = false
+		// Stop the sampler first so the stream's final snapshot captures the
+		// cells' terminal state before anything else is torn down.
+		if err := o.closeEvents(); err != nil {
+			firstErr = err
+			fmt.Fprintln(o.Log, "events:", err)
+		}
+	}
 	if *o.tracePath != "" && tracing.Default != nil {
 		if err := o.writeTrace(); err != nil {
-			firstErr = err
+			if firstErr == nil {
+				firstErr = err
+			}
 			fmt.Fprintln(o.Log, "trace:", err)
 		}
 	}

@@ -1,6 +1,7 @@
 package obsflags
 
 import (
+	"bufio"
 	"bytes"
 	"flag"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"quest/internal/events"
 	"quest/internal/heatmap"
 	"quest/internal/ledger"
 	"quest/internal/mc"
@@ -246,4 +248,244 @@ func TestSweepProgressRenders(t *testing.T) {
 	if !strings.Contains(out, "cell-a") || !strings.Contains(out, "done") {
 		t.Errorf("renderer output missing cell label or done marker: %q", out)
 	}
+}
+
+// TestSweepProgressPadsStaleChars pins the \r-overwrite fix: when a shorter
+// status line follows a longer one, the renderer pads to the previous line's
+// width so no tail of the old line survives on screen.
+func TestSweepProgressPadsStaleChars(t *testing.T) {
+	defer resetDefaults()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := Register(fs)
+	var log bytes.Buffer
+	o.Log = &log
+	if err := fs.Parse([]string{"-progress"}); err != nil {
+		t.Fatal(err)
+	}
+	render := o.SweepProgress()
+	render("p=0.0100", mc.Progress{Completed: 1000000, Failures: 100000, WilsonLo: 0.0900, WilsonHi: 0.1899})
+	render("p=0.0100", mc.Progress{Completed: 5, Failures: 1, WilsonLo: 0.01, WilsonHi: 0.06})
+	render("p=0.0100", mc.Progress{Completed: 9, Failures: 1, WilsonLo: 0.01, WilsonHi: 0.05, Done: true})
+	frames := strings.Split(log.String(), "\r")[1:] // leading "" before the first \r
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames, want 3: %q", len(frames), log.String())
+	}
+	if !strings.HasSuffix(frames[2], "\n") {
+		t.Errorf("done frame does not finish the line: %q", frames[2])
+	}
+	// Simulate the terminal: each \r-frame overwrites the line from column
+	// 0, leaving whatever it does not reach. After the short frames, the
+	// visible line must be exactly the frame's own text — no tail of the
+	// long first line (the pre-fix symptom: "... CI width 0.0600 0.1899").
+	var screen []rune
+	for i, f := range frames {
+		fr := []rune(strings.TrimSuffix(f, "\n"))
+		if len(fr) > len(screen) {
+			screen = append(screen, make([]rune, len(fr)-len(screen))...)
+		}
+		copy(screen, fr)
+		visible := strings.TrimRight(string(screen), " ")
+		if want := strings.TrimRight(string(fr), " "); visible != want {
+			t.Errorf("frame %d: screen shows %q, want %q — stale characters survive the overwrite",
+				i, visible, want)
+		}
+	}
+	// A fresh cell after Done must not inherit the old width (no spurious
+	// padding on the first line of the next cell).
+	log.Reset()
+	render("p=0.0200", mc.Progress{Completed: 5, Failures: 1, WilsonLo: 0.01, WilsonHi: 0.06})
+	if strings.Contains(log.String(), "  ") {
+		t.Errorf("first frame of a new cell carries stale padding: %q", log.String())
+	}
+}
+
+func TestStartRejectsNegativeTraceBuf(t *testing.T) {
+	defer resetDefaults()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := Register(fs)
+	if err := fs.Parse([]string{"-trace-buf", "-1"}); err != nil {
+		t.Fatal(err)
+	}
+	err := o.Start()
+	if err == nil {
+		t.Fatal("Start accepted -trace-buf -1")
+	}
+	if !strings.Contains(err.Error(), "trace-buf") {
+		t.Errorf("error %q does not name the flag", err)
+	}
+	// 0 (default) and positive capacities must pass.
+	for _, good := range []string{"0", "1024"} {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		o := Register(fs)
+		if err := fs.Parse([]string{"-trace-buf", good}); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Start(); err != nil {
+			t.Errorf("Start rejected -trace-buf %s: %v", good, err)
+		}
+	}
+}
+
+// TestFinishFirstErrAggregation pins Finish's error contract: the first
+// failing stage's error is returned, and every later stage still runs (so a
+// broken trace file cannot suppress the ledger flush or the metrics dump).
+func TestFinishFirstErrAggregation(t *testing.T) {
+	defer resetDefaults()
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := Register(fs)
+	o.Log = io.Discard
+	// Trace and heatmap point into a directory that does not exist, so both
+	// writes fail at Finish; the ledger is sabotaged below.
+	tracePath := filepath.Join(dir, "missing", "trace.json")
+	heatPath := filepath.Join(dir, "missing", "heat.json")
+	args := []string{"-trace", tracePath, "-heatmap", heatPath,
+		"-ledger", filepath.Join(dir, "run.jsonl"), "-metrics", "text"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lw, err := o.OpenLedger("finish-test", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw.WriteCell(ledger.Cell{Cell: "c", Seed: ledger.SeedString(7), Budget: 1, Trials: 1})
+	// Close the file underneath the buffered writer: the ledger stage's
+	// Flush in Finish now fails too, after the trace stage already has.
+	o.ledgerFile.Close()
+	o.heat.Collector("g", 2, 2).Defect(0, 0)
+
+	var log bytes.Buffer
+	o.Log = &log
+	finishErr := o.Finish()
+	if finishErr == nil {
+		t.Fatal("Finish returned nil with three failing stages")
+	}
+	// First error wins: the trace stage fails before ledger and heatmap.
+	if !strings.Contains(finishErr.Error(), "trace.json") {
+		t.Errorf("Finish returned %q, want the trace error (first failing stage)", finishErr)
+	}
+	// Later stages still ran: each failure is logged, and the metrics dump
+	// at the end still rendered.
+	for _, want := range []string{"trace:", "ledger:", "heatmap:", "-- metrics --"} {
+		if !strings.Contains(log.String(), want) {
+			t.Errorf("Finish log missing %q — a later stage was skipped:\n%s", want, log.String())
+		}
+	}
+}
+
+func TestEventsLifecycle(t *testing.T) {
+	defer resetDefaults()
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := Register(fs)
+	o.Log = io.Discard
+	if err := fs.Parse([]string{"-events", path, "-shard", "1/2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !o.EventsEnabled() {
+		t.Fatal("EventsEnabled() = false with -events set")
+	}
+	if o.ShardReg() != metrics.Default {
+		t.Error("ShardReg should aggregate into Default with -events set (snapshots carry deltas)")
+	}
+	if err := o.OpenEvents("events-test", map[string]string{"trials": "40"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.OpenEvents("events-test", nil); err == nil {
+		t.Error("second OpenEvents accepted")
+	}
+	// The sweep progress sink must feed the sampler even without -progress.
+	sink := o.SweepProgress()
+	if sink == nil {
+		t.Fatal("SweepProgress() = nil with -events set")
+	}
+	sink("cell-a", mc.Progress{Completed: 40, Failures: 2, Budget: 40, WilsonLo: 0.01, WilsonHi: 0.15, Done: true})
+
+	var log bytes.Buffer
+	o.Log = &log
+	if err := o.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "events:") {
+		t.Errorf("Finish log missing events summary:\n%s", log.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := events.Validate(data)
+	if err != nil {
+		t.Fatalf("flag-driven event stream invalid: %v", err)
+	}
+	if rep.Experiment != "events-test" || rep.ShardIndex != 1 || rep.ShardCount != 2 {
+		t.Errorf("report provenance = %+v, want events-test shard 1/2", rep)
+	}
+	if rep.Snapshots < 1 || rep.Cells != 1 || rep.DoneCells != 1 {
+		t.Errorf("report = %+v, want >=1 snapshot with one done cell", rep)
+	}
+	if o.Events() != nil {
+		t.Error("sampler still live after Finish")
+	}
+}
+
+func TestEventsSSEAndHealthz(t *testing.T) {
+	defer resetDefaults()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := Register(fs)
+	o.Log = io.Discard
+	// -pprof alone: the SSE endpoint and probe exist, events are SSE-only.
+	if err := fs.Parse([]string{"-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Finish()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + o.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return buf.String()
+	}
+	if got := get("/healthz"); !strings.Contains(got, `"events":false`) {
+		t.Errorf("/healthz before OpenEvents = %q", got)
+	}
+	if err := o.OpenEvents("sse-test", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := get("/healthz"); !strings.Contains(got, `"events":true`) {
+		t.Errorf("/healthz after OpenEvents = %q", got)
+	}
+
+	// /events replays the provenance header to a late subscriber.
+	resp, err := http.Get("http://" + o.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("/events Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") {
+			if !strings.Contains(line, `"record":"header"`) || !strings.Contains(line, "sse-test") {
+				t.Errorf("first SSE frame = %q, want replayed header", line)
+			}
+			return
+		}
+	}
+	t.Fatalf("no SSE frame received: %v", sc.Err())
 }
