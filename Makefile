@@ -15,6 +15,11 @@
 #                     telemetry, validate both streams with questtop -check,
 #                     render the fleet view, and prove events are a pure
 #                     side-band (ledger bytes identical with events on/off)
+#   make bw-smoke     run profiled sweeps and sims, validate the quest-bw/1
+#                     artifacts with bwreport -check, prove the waveform is
+#                     worker-count independent (cmp across -workers 1 and 8)
+#                     and a pure side-band (ledger bytes identical with -bw
+#                     on/off), and render the ram/fifo/unitcell comparison
 #   make lint         gofmt + vet + questvet (CI additionally runs staticcheck)
 #   make questvet     run only the custom analyzer suite (tools/questvet)
 
@@ -24,7 +29,7 @@ GO ?= go
 # fails if the two (or CI's version matrix) drift apart.
 GO_TOOLCHAIN := go1.24.0
 
-.PHONY: all build test test-short race bench bench-json benchdiff trace-smoke ledger-smoke shard-smoke events-smoke lint vet fmt questvet experiments examples fuzz clean
+.PHONY: all build test test-short race bench bench-json benchdiff trace-smoke ledger-smoke shard-smoke events-smoke bw-smoke lint vet fmt questvet experiments examples fuzz clean
 
 all: build vet test race
 
@@ -125,6 +130,34 @@ events-smoke:
 		-ledger events-shard-ledger-off.jsonl threshold
 	cmp events-shard-ledger-off.jsonl events-shard-ledger-0.jsonl
 
+# Bandwidth-profiler smoke — the same checks CI's bw-smoke job runs. The
+# memory experiment drives the full machine decode path (threshold cells
+# bypass the machine, so they put no traffic on the buses): the same
+# profiled sweep at -workers 1 and 8 must produce byte-identical quest-bw/1
+# waveforms (cmp), and the -workers 1 ledger must be byte-identical with -bw
+# on and off (profiling is a pure side-band). bwreport -check validates each
+# artifact, then three questsim runs — one per microcode design — feed the
+# ram/fifo/unitcell comparison table. Artifacts match bw-smoke-*.jsonl,
+# covered by .gitignore and `make clean`.
+bw-smoke:
+	$(GO) run ./cmd/questbench -trials 8 -workers 1 \
+		-ledger bw-smoke-ledger-on.jsonl -bw bw-smoke-w1.jsonl memory
+	$(GO) run ./cmd/questbench -trials 8 -workers 8 \
+		-bw bw-smoke-w8.jsonl memory
+	cmp bw-smoke-w1.jsonl bw-smoke-w8.jsonl
+	$(GO) run ./cmd/questbench -trials 8 -workers 1 \
+		-ledger bw-smoke-ledger-off.jsonl memory
+	cmp bw-smoke-ledger-off.jsonl bw-smoke-ledger-on.jsonl
+	$(GO) run ./tools/bwreport -check bw-smoke-w1.jsonl
+	$(GO) run ./cmd/questsim -program distill -replays 8 -design ram \
+		-bw bw-smoke-ram.jsonl
+	$(GO) run ./cmd/questsim -program distill -replays 8 -design fifo \
+		-bw bw-smoke-fifo.jsonl
+	$(GO) run ./cmd/questsim -program distill -replays 8 -design unitcell \
+		-bw bw-smoke-unitcell.jsonl
+	$(GO) run ./tools/bwreport bw-smoke-ram.jsonl bw-smoke-fifo.jsonl \
+		bw-smoke-unitcell.jsonl
+
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
 	$(GO) run ./cmd/questbench
@@ -150,5 +183,5 @@ fuzz:
 # corpora; TestCleanTargetPreservesTrackedTestdata pins the fix.
 clean:
 	git clean -fdx internal/qasm/testdata internal/qexe/testdata
-	rm -f ledger-shard-*.jsonl events-shard-*.jsonl
+	rm -f ledger-shard-*.jsonl events-shard-*.jsonl bw-smoke-*.jsonl
 	$(GO) clean ./...

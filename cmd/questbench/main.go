@@ -24,6 +24,12 @@
 // tools/questtop. Telemetry is a pure side-band: ledger, heatmap and table
 // bytes are identical with events on or off.
 //
+// Bandwidth profiling: -bw FILE records per-bus traffic in fixed windows of
+// the machine cycle clock and writes a quest-bw/1 profile at exit
+// (-bw-window N sets the window width; validate and compare runs with
+// tools/bwreport). Like the ledger, the profile is worker-count independent
+// and a pure side-band of the sweep.
+//
 // Distributed sweeps: -shard i/N runs only the statistical sweep cells owned
 // by shard i of N (round-robin in sweep order), each shard writing a
 // complete ledger that tools/ledgermerge recombines into bytes identical to
@@ -128,6 +134,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// Same provenance for the bandwidth profile: the artifact must identify
+	// the run it measured, and -workers stays out so the waveform bytes keep
+	// their worker-count independence.
+	if err := obs.OpenBW("questbench", map[string]string{
+		"args":    strings.Join(args, " "),
+		"trials":  strconv.Itoa(*flagTrials),
+		"ci-stop": strconv.FormatFloat(obs.CIStop(), 'g', -1, 64),
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	// The shard cursor is shared by every statistical experiment this
 	// invocation runs, so cell ownership counts in global sweep order across
 	// threshold and memory alike — exactly how ledgermerge re-interleaves.
@@ -139,6 +156,7 @@ func main() {
 	sweep = core.SweepObs{
 		Ledger:   lw,
 		Heat:     obs.HeatSet(),
+		BW:       obs.BW(),
 		CIWidth:  obs.CIStop(),
 		Progress: obs.SweepProgress(),
 		Shard:    shard,

@@ -36,6 +36,10 @@
 //	                     (idle-cycle progress, metrics deltas, runtime stats)
 //	                     as JSONL; with -pprof the stream is also served over
 //	                     SSE on /events (watch with tools/questtop)
+//	-bw FILE             record per-bus instruction-bandwidth waveforms keyed
+//	                     to the machine cycle clock and write a quest-bw/1
+//	                     profile (validate and compare with tools/bwreport)
+//	-bw-window N         profile window width in cycles (default 8)
 package main
 
 import (
@@ -84,6 +88,14 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
+	// The bandwidth artifact carries the design so bwreport can key its
+	// comparison table on it (ram vs fifo vs unitcell microcode stores).
+	if err := obs.OpenBW("questsim", map[string]string{
+		"program": *program,
+		"design":  strings.ToLower(*design),
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := quest.DefaultMachineConfig()
 	cfg.Tiles = *tiles
@@ -117,6 +129,7 @@ func main() {
 		log.Fatalf("unknown tech %q", *tech)
 	}
 	cfg.Heat = obs.HeatSet()
+	cfg.BW = obs.BW()
 	m := quest.NewMachine(cfg)
 
 	var rep quest.RunReport

@@ -104,9 +104,13 @@ func (c *Counter) Reset() {
 }
 
 // Rate converts the byte count into a bandwidth over the given duration.
+// A non-positive duration returns 0 rather than Inf/NaN: callers derive
+// seconds from cycle counts or wall-clock deltas, and a zero-length run has
+// no meaningful rate — it must not leak non-finite values into reports or
+// telemetry streams.
 func (c *Counter) Rate(seconds float64) BytesPerSec {
 	if seconds <= 0 {
-		panic(fmt.Sprintf("bandwidth: non-positive duration %v", seconds))
+		return 0
 	}
 	return BytesPerSec(float64(c.Bytes()) / seconds)
 }

@@ -18,6 +18,12 @@ func TestRateFormatting(t *testing.T) {
 		{2 * KBs, "2 KB/s"},
 		{512, "512 B/s"},
 		{2.5 * PBs, "2.5 PB/s"},
+		{0, "0 B/s"},
+		{-512, "-512 B/s"},
+		{KBs, "1 KB/s"}, // exactly at each unit threshold
+		{MBs, "1 MB/s"},
+		{GBs, "1 GB/s"},
+		{0.999 * KBs, "999 B/s"}, // just under a threshold stays down a unit
 	}
 	for _, c := range cases {
 		if got := c.in.String(); got != c.want {
@@ -55,12 +61,30 @@ func TestCounter(t *testing.T) {
 	if c.Instructions() != 0 || c.Bytes() != 0 {
 		t.Error("reset failed")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("zero duration accepted")
+}
+
+// TestRateDegenerateDurations pins the Rate edge cases: zero, negative and
+// denormal-tiny durations must return a finite rate (0 for non-positive),
+// never Inf or NaN — these values flow straight into reports and the
+// telemetry stream.
+func TestRateDegenerateDurations(t *testing.T) {
+	var c Counter
+	c.Add(3, 30)
+	for _, seconds := range []float64{0, -1, math.Inf(-1)} {
+		if got := c.Rate(seconds); got != 0 {
+			t.Errorf("Rate(%v) = %v, want 0", seconds, got)
 		}
-	}()
-	c.Rate(0)
+	}
+	if got := c.Rate(5e-324); math.IsNaN(float64(got)) {
+		t.Errorf("Rate(denormal) = %v, want non-NaN", got)
+	}
+	var empty Counter
+	if got := empty.Rate(0); got != 0 {
+		t.Errorf("empty Rate(0) = %v, want 0", got)
+	}
+	if s := empty.Rate(0).String(); strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Errorf("degenerate rate renders %q", s)
+	}
 }
 
 func TestCounterConcurrency(t *testing.T) {

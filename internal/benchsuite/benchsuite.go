@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"testing"
 
+	"quest/internal/bwprofile"
 	"quest/internal/core"
 	"quest/internal/decoder"
 	"quest/internal/events"
@@ -201,6 +202,16 @@ func Cases(reg *metrics.Registry) []Case {
 			for i := 0; i < b.N; i++ {
 				p.Completed = i
 				smp.ObserveCell("cell", p)
+			}
+		}},
+		{"bw-off-observe", func(b *testing.B) {
+			// With -bw off the bandwidth recorder is a nil pointer and every
+			// dispatch-site observe hits its nil gate. This pins that
+			// disabled path at 0 allocs/op, mirroring events-off-observe.
+			var rec *bwprofile.Recorder
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rec.Observe(i, bwprofile.BusLogical, bwprofile.ClassPauli, 1, 2)
 			}
 		}},
 		{"machine-step-cycle", func(b *testing.B) {

@@ -67,3 +67,19 @@ func TestEventsOffObserveZeroAllocs(t *testing.T) {
 	}
 	t.Fatal("suite is missing the events-off-observe case")
 }
+
+// TestBWOffObserveZeroAllocs pins the suite's bw-off-observe case at zero
+// allocations per op: when -bw is off the recorder is nil and every
+// dispatch-site observe must cost one branch, nothing more.
+func TestBWOffObserveZeroAllocs(t *testing.T) {
+	for _, c := range Cases(metrics.New()) {
+		if c.Name != "bw-off-observe" {
+			continue
+		}
+		if r := testing.Benchmark(c.Fn); r.AllocsPerOp() != 0 {
+			t.Errorf("bw-off-observe: %d allocs/op, want 0", r.AllocsPerOp())
+		}
+		return
+	}
+	t.Fatal("suite is missing the bw-off-observe case")
+}

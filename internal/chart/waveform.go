@@ -1,0 +1,107 @@
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"unicode/utf8"
+)
+
+// waveRamp is the eighth-block ramp for Waveform columns: index k fills k/8
+// of a character cell, bottom-up.
+var waveRamp = []rune{' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'}
+
+// WaveformOptions controls time-series rendering.
+type WaveformOptions struct {
+	// Width is the maximum number of columns (default 72). A longer series
+	// is downsampled by taking the maximum of each bucket, so peaks survive
+	// compression — a bandwidth waveform that smoothed its bursts away
+	// would defeat its purpose.
+	Width int
+	// Height is the number of character rows (default 6); each row resolves
+	// eight sub-levels via partial blocks.
+	Height int
+	// Title is printed above the plot when non-empty.
+	Title string
+	// Unit is appended to the axis annotations (e.g. " B").
+	Unit string
+}
+
+// Waveform renders a non-negative time series as a block-character plot:
+// columns are samples (left to right), column height is value/max. Output is
+// a pure function of the values, so it is as deterministic as the series
+// itself.
+func Waveform(values []float64, opts WaveformOptions) (string, error) {
+	if len(values) == 0 {
+		return "", fmt.Errorf("chart: empty waveform")
+	}
+	width := opts.Width
+	if width <= 0 {
+		width = 72
+	}
+	height := opts.Height
+	if height <= 0 {
+		height = 6
+	}
+	for i, v := range values {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return "", fmt.Errorf("chart: waveform value %v at index %d (want finite and ≥ 0)", v, i)
+		}
+	}
+	// Downsample by bucket maximum when the series is wider than the plot.
+	cols := values
+	if len(values) > width {
+		bucketed := make([]float64, width)
+		for i, v := range values {
+			if b := i * width / len(values); v > bucketed[b] {
+				bucketed[b] = v
+			}
+		}
+		cols = bucketed
+	}
+	var max float64
+	for _, v := range cols {
+		if v > max {
+			max = v
+		}
+	}
+	// Column levels in eighths of a cell; a non-zero value always shows at
+	// least one eighth so isolated small windows don't vanish.
+	levels := make([]int, len(cols))
+	for i, v := range cols {
+		if max > 0 {
+			levels[i] = int(math.Round(v / max * float64(height*8)))
+		}
+		if levels[i] == 0 && v > 0 {
+			levels[i] = 1
+		}
+	}
+	topLabel := fmt.Sprintf("%.3g%s", max, opts.Unit)
+	gutter := utf8.RuneCountInString(topLabel)
+	var sb strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", opts.Title)
+	}
+	for r := height - 1; r >= 0; r-- {
+		label := ""
+		if r == height-1 {
+			label = topLabel
+		}
+		fmt.Fprintf(&sb, "%*s ┤", gutter, label)
+		for _, lv := range levels {
+			filled := lv - r*8
+			switch {
+			case filled >= 8:
+				sb.WriteRune('█')
+			case filled <= 0:
+				sb.WriteRune(' ')
+			default:
+				sb.WriteRune(waveRamp[filled])
+			}
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "%*s └%s\n", gutter, "0", strings.Repeat("─", len(cols)))
+	fmt.Fprintf(&sb, "%*s  %d sample(s), peak %.3g%s\n", gutter, "", len(values), max, opts.Unit)
+	return sb.String(), nil
+}

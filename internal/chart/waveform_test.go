@@ -1,0 +1,94 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWaveformBasic(t *testing.T) {
+	out, err := Waveform([]float64{0, 4, 8, 2}, WaveformOptions{Height: 2, Title: "bw", Unit: " B"})
+	if err != nil {
+		t.Fatalf("Waveform: %v", err)
+	}
+	if !strings.HasPrefix(out, "bw\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "8 B") {
+		t.Errorf("missing max annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "4 sample(s), peak 8 B") {
+		t.Errorf("missing footer:\n%s", out)
+	}
+	// The peak column must reach the top row as a full block.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "█") {
+		t.Errorf("top row has no full block for the peak:\n%s", out)
+	}
+}
+
+func TestWaveformDeterministic(t *testing.T) {
+	vals := []float64{1, 5, 3, 9, 2, 2, 7}
+	a, err := Waveform(vals, WaveformOptions{})
+	if err != nil {
+		t.Fatalf("Waveform: %v", err)
+	}
+	b, err := Waveform(vals, WaveformOptions{})
+	if err != nil {
+		t.Fatalf("Waveform: %v", err)
+	}
+	if a != b {
+		t.Error("same values rendered differently")
+	}
+}
+
+func TestWaveformDownsampleKeepsPeak(t *testing.T) {
+	// 100 samples squeezed into 10 columns: the single spike must survive
+	// bucketing (bucket max, not mean).
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 1
+	}
+	vals[57] = 1000
+	out, err := Waveform(vals, WaveformOptions{Width: 10, Height: 3})
+	if err != nil {
+		t.Fatalf("Waveform: %v", err)
+	}
+	if !strings.Contains(out, "peak 1e+03") {
+		t.Errorf("spike lost in downsampling:\n%s", out)
+	}
+	if !strings.Contains(out, "100 sample(s)") {
+		t.Errorf("footer should count original samples:\n%s", out)
+	}
+}
+
+func TestWaveformNonZeroShowsInk(t *testing.T) {
+	// A tiny value next to a huge one still gets at least one eighth-block.
+	out, err := Waveform([]float64{1, 1e9}, WaveformOptions{Height: 2})
+	if err != nil {
+		t.Fatalf("Waveform: %v", err)
+	}
+	lines := strings.Split(out, "\n")
+	bottom := lines[1] // height 2, no title: lines[0] top row, lines[1] bottom row
+	if !strings.Contains(bottom, "▁") {
+		t.Errorf("small value invisible:\n%s", out)
+	}
+}
+
+func TestWaveformAllZero(t *testing.T) {
+	out, err := Waveform([]float64{0, 0, 0}, WaveformOptions{Height: 2})
+	if err != nil {
+		t.Fatalf("Waveform: %v", err)
+	}
+	if strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Errorf("zero series should draw nothing:\n%s", out)
+	}
+}
+
+func TestWaveformRejectsBadInput(t *testing.T) {
+	if _, err := Waveform(nil, WaveformOptions{}); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := Waveform([]float64{1, -2}, WaveformOptions{}); err == nil {
+		t.Error("negative value accepted")
+	}
+}

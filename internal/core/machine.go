@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"quest/internal/awg"
+	"quest/internal/bwprofile"
 	"quest/internal/compiler"
 	"quest/internal/distill"
 	"quest/internal/heatmap"
@@ -66,6 +67,11 @@ type MachineConfig struct {
 	// (master global decoders), one collector per lattice shape. Nil — the
 	// default — keeps every decode path allocation-free.
 	Heat *heatmap.Set
+	// BW, when non-nil, profiles the instruction bandwidth cycle-by-cycle:
+	// the master meters every bus dispatch and the MCEs meter cache replays
+	// into windowed per-class counts for the quest-bw/1 artifact. Nil — the
+	// default — keeps the dispatch paths allocation-free.
+	BW *bwprofile.Recorder
 }
 
 // DefaultMachineConfig returns a small but fully functional machine: one
@@ -111,6 +117,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 			Tracer:     cfg.Tracer,
 			TileID:     i,
 			Heat:       cfg.Heat,
+			BW:         cfg.BW,
 		}))
 	}
 	return &Machine{
@@ -125,6 +132,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 			Metrics:         cfg.Metrics,
 			Tracer:          cfg.Tracer,
 			Heat:            cfg.Heat,
+			BW:              cfg.BW,
 		}, tiles),
 	}
 }
@@ -141,15 +149,16 @@ func (ma *Machine) Master() *master.Master { return ma.m }
 // TestMachineResetMatchesFresh). Monte-Carlo trial bodies pool machines on
 // this: per-trial cost drops from full machine construction to a reset.
 // Panics for NoC-routed machines, whose mesh has no drain guarantee.
-func (ma *Machine) Reset(seed int64, reg *metrics.Registry, tr *tracing.Tracer, heat *heatmap.Set) {
+func (ma *Machine) Reset(seed int64, reg *metrics.Registry, tr *tracing.Tracer, heat *heatmap.Set, bw *bwprofile.Recorder) {
 	ma.cfg.Seed = seed
 	ma.cfg.Metrics = reg
 	ma.cfg.Tracer = tr
 	ma.cfg.Heat = heat
+	ma.cfg.BW = bw
 	for i, t := range ma.m.Tiles() {
-		t.Reset(seed+int64(i), reg, tr, heat)
+		t.Reset(seed+int64(i), reg, tr, heat, bw)
 	}
-	ma.m.Reset(reg, tr, heat)
+	ma.m.Reset(reg, tr, heat, bw)
 }
 
 // tileFor maps a program's logical qubit to (tile, patch-within-tile).

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"quest/internal/bandwidth"
 	"quest/internal/heatmap"
 	"quest/internal/isa"
 	"quest/internal/metrics"
@@ -80,7 +81,7 @@ func TestMachineResetMatchesFresh(t *testing.T) {
 
 	regReset := metrics.New()
 	heatReset := heatmap.NewSet()
-	pooled.Reset(seed, regReset, nil, heatReset)
+	pooled.Reset(seed, regReset, nil, heatReset, nil)
 	bitReset := memoryTrialFor(t, pooled, rounds)
 
 	if bitFresh != bitReset {
@@ -127,5 +128,77 @@ func TestMachineResetMatchesFresh(t *testing.T) {
 	tf, tr := fresh.Master().Tiles()[0], pooled.Master().Tiles()[0]
 	if a, b := tf.Store().BitsStreamed(), tr.Store().BitsStreamed(); a != b {
 		t.Errorf("microcode bits streamed: fresh %d, reset %d", a, b)
+	}
+}
+
+// TestMachineResetBusMetricsMatchFresh is the bus-accounting slice of the
+// pooling contract (satellite of the bandwidth profiler): every master bus
+// counter — the local bandwidth.Counter meters AND the registry counters
+// they Bridge into — must read identically whether a trial ran on a fresh
+// machine or on a pooled machine Reset after a previous trial. A Reset that
+// forgot Counter.Reset would carry the warm trial's traffic forward; a
+// Reset that re-Bridged without zeroing (or double-bridged) would double
+// the registry's view.
+func TestMachineResetBusMetricsMatchFresh(t *testing.T) {
+	const (
+		p      = 2e-3
+		rounds = 6
+		warm   = int64(424242)
+		seed   = int64(97531)
+	)
+
+	regFresh := metrics.New()
+	fresh := NewMachine(memoryMachineConfig(seed, regFresh, nil, p))
+	memoryTrialFor(t, fresh, rounds)
+
+	pooled := NewMachine(memoryMachineConfig(warm, metrics.New(), nil, p))
+	memoryTrialFor(t, pooled, rounds)
+	regReset := metrics.New()
+	pooled.Reset(seed, regReset, nil, nil, nil)
+	memoryTrialFor(t, pooled, rounds)
+
+	fm, pm := fresh.Master(), pooled.Master()
+	buses := []struct {
+		name        string
+		fresh, pool *bandwidth.Counter
+	}{
+		{"logical", &fm.Logical, &pm.Logical},
+		{"sync", &fm.Sync, &pm.Sync},
+		{"cache", &fm.Cache, &pm.Cache},
+		{"syndrome", &fm.Syndrome, &pm.Syndrome},
+	}
+	for _, b := range buses {
+		if fi, pi := b.fresh.Instructions(), b.pool.Instructions(); fi != pi {
+			t.Errorf("%s bus instructions: fresh %d, pooled-reset %d", b.name, fi, pi)
+		}
+		if fb, pb := b.fresh.Bytes(), b.pool.Bytes(); fb != pb {
+			t.Errorf("%s bus bytes: fresh %d, pooled-reset %d", b.name, fb, pb)
+		}
+	}
+
+	counterValue := func(s metrics.Snapshot, name string) (uint64, bool) {
+		for _, c := range s.Counters {
+			if c.Name == name {
+				return c.Value, true
+			}
+		}
+		return 0, false
+	}
+	sf, sr := regFresh.Snapshot(), regReset.Snapshot()
+	for _, name := range []string{
+		"master.bus.logical.instr", "master.bus.logical.bytes",
+		"master.bus.sync.instr", "master.bus.sync.bytes",
+		"master.bus.cache.instr", "master.bus.cache.bytes",
+		"master.bus.syndrome.records", "master.bus.syndrome.bytes",
+	} {
+		fv, fok := counterValue(sf, name)
+		rv, rok := counterValue(sr, name)
+		if fok != rok {
+			t.Errorf("bridged counter %s: present fresh=%v reset=%v", name, fok, rok)
+			continue
+		}
+		if fv != rv {
+			t.Errorf("bridged counter %s: fresh %d, pooled-reset %d", name, fv, rv)
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"quest/internal/awg"
+	"quest/internal/bwprofile"
 	"quest/internal/clifford"
 	"quest/internal/compiler"
 	"quest/internal/decoder"
@@ -75,6 +76,12 @@ type SweepObs struct {
 	// collector per lattice shape. Nil disables collection (and keeps the
 	// decode paths allocation-free).
 	Heat *heatmap.Set
+	// BW accumulates cycle-windowed instruction-bandwidth samples from every
+	// trial machine's master/MCE buses. Nil disables profiling (and keeps
+	// the dispatch paths allocation-free). Shards are per-trial and merged
+	// in trial order, so the quest-bw/1 waveform is worker-count
+	// independent like the ledger and heatmaps.
+	BW *bwprofile.Recorder
 	// CIWidth > 0 stops each cell at the first trial-ordered prefix whose
 	// 95% Wilson interval is narrower than this (see mc.Observers.CIWidth);
 	// MinTrials floors the rule (0 = the engine default).
@@ -184,7 +191,7 @@ func (s SweepObs) beginCell(name string, cellSeed uint64, budget int) (cellPlan,
 
 // observers assembles the engine-level hooks for one named sweep cell.
 func (s SweepObs) observers(cell string, heat *heatmap.Collector) mc.Observers {
-	obs := mc.Observers{CIWidth: s.CIWidth, MinTrials: s.MinTrials, Heat: heat}
+	obs := mc.Observers{CIWidth: s.CIWidth, MinTrials: s.MinTrials, Heat: heat, BW: s.BW}
 	if s.Progress != nil {
 		progress := s.Progress
 		obs.Progress = func(p mc.Progress) { progress(cell, p) }
@@ -317,7 +324,7 @@ func MachineMemoryObserved(reg *metrics.Registry, tr *tracing.Tracer, physRate f
 			var m *Machine
 			if v := pool.Get(); v != nil {
 				m = v.(*Machine)
-				m.Reset(int64(seed), ctx.Shard, ctx.Trace, hs)
+				m.Reset(int64(seed), ctx.Shard, ctx.Trace, hs, ctx.BW)
 			} else {
 				cfg := DefaultMachineConfig()
 				cfg.PatchesPerTile = 1
@@ -326,6 +333,7 @@ func MachineMemoryObserved(reg *metrics.Registry, tr *tracing.Tracer, physRate f
 				cfg.Metrics = ctx.Shard
 				cfg.Tracer = ctx.Trace
 				cfg.Heat = hs
+				cfg.BW = ctx.BW
 				if physRate > 0 {
 					nm := noise.Uniform(physRate)
 					cfg.Noise = &nm

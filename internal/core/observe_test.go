@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"quest/internal/bwprofile"
 	"quest/internal/events"
 	"quest/internal/heatmap"
 	"quest/internal/ledger"
@@ -288,6 +289,78 @@ func TestBeginCellReplayEmitsDoneProgress(t *testing.T) {
 		if s.p.WilsonLo != lo || s.p.WilsonHi != hi || s.p.WilsonLo != r.WilsonLo {
 			t.Errorf("snapshot %d interval [%v, %v] inconsistent with recorded cell [%v, %v]",
 				i, s.p.WilsonLo, s.p.WilsonHi, r.WilsonLo, r.WilsonHi)
+		}
+	}
+}
+
+// TestMachineMemoryBWPureSideband pins the bandwidth profiler's acceptance
+// criteria in one sweep: with a recorder wired through the machine, the row,
+// ledger bytes and heatmap JSON are byte-identical to the profiler-off run
+// (the recorder observes, it never perturbs), and the quest-bw/1 artifact's
+// own bytes are identical for 1 and 8 workers (per-trial shards merged in
+// trial order, like the ledger).
+func TestMachineMemoryBWPureSideband(t *testing.T) {
+	run := func(workers int, withBW bool) (MemoryRow, []byte, []byte, []byte) {
+		t.Helper()
+		var buf bytes.Buffer
+		lw, err := ledger.NewWriter(&buf, "memory-test", nil, 1)
+		if err != nil {
+			t.Fatalf("NewWriter: %v", err)
+		}
+		heat := heatmap.NewSet()
+		obs := SweepObs{Ledger: lw, Heat: heat}
+		var bw *bwprofile.Recorder
+		if withBW {
+			bw = bwprofile.New(8)
+			obs.BW = bw
+		}
+		row, ran, err := MachineMemoryObserved(nil, nil, 2e-3, 6, 10, workers, obs)
+		if err != nil {
+			t.Fatalf("MachineMemoryObserved: %v", err)
+		}
+		if !ran {
+			t.Fatal("MachineMemoryObserved skipped its cell without a Shard")
+		}
+		if err := lw.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		var hj bytes.Buffer
+		if err := heat.WriteJSON(&hj); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		var bwb bytes.Buffer
+		if bw != nil {
+			if err := bw.WriteJSONL(&bwb, "memory-test", nil); err != nil {
+				t.Fatalf("WriteJSONL: %v", err)
+			}
+		}
+		return row, buf.Bytes(), hj.Bytes(), bwb.Bytes()
+	}
+
+	offRow, offLed, offHeat, _ := run(1, false)
+	var wave []byte
+	for _, workers := range []int{1, 8} {
+		row, led, heat, bwBytes := run(workers, true)
+		if row != offRow {
+			t.Errorf("workers=%d: row differs with bw on:\noff: %+v\non:  %+v", workers, offRow, row)
+		}
+		if !bytes.Equal(led, offLed) {
+			t.Errorf("workers=%d: ledger bytes differ with bw on", workers)
+		}
+		if !bytes.Equal(heat, offHeat) {
+			t.Errorf("workers=%d: heatmap JSON differs with bw on", workers)
+		}
+		rep, err := bwprofile.Validate(bwBytes)
+		if err != nil {
+			t.Fatalf("workers=%d: bw artifact invalid: %v", workers, err)
+		}
+		if rep.Summary.TotalInstrs == 0 || rep.Summary.TotalBytes == 0 {
+			t.Errorf("workers=%d: bw artifact recorded nothing: %+v", workers, rep.Summary)
+		}
+		if wave == nil {
+			wave = bwBytes
+		} else if !bytes.Equal(wave, bwBytes) {
+			t.Errorf("bw artifact bytes differ between 1 and %d workers", workers)
 		}
 	}
 }

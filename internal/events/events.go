@@ -87,6 +87,18 @@ type CellProgress struct {
 	Done  bool  `json:"done,omitempty"`
 }
 
+// BusRate is the live instruction-bandwidth state of one machine bus inside
+// a snapshot: cumulative instruction and byte totals since the run started
+// (mirroring the -bw recorder's totals) plus the mean byte rate over the
+// run so far. Cumulative rather than per-interval so a subscriber that
+// drops frames still reads correct totals.
+type BusRate struct {
+	Bus        string  `json:"bus"`
+	Instrs     uint64  `json:"instrs"`
+	Bytes      uint64  `json:"bytes"`
+	RatePerSec float64 `json:"rate_per_sec"`
+}
+
 // RuntimeStats is the Go runtime health section of a snapshot.
 type RuntimeStats struct {
 	HeapBytes  uint64 `json:"heap_bytes"`
@@ -104,6 +116,9 @@ type Snapshot struct {
 	Seq    int            `json:"seq"`
 	Ms     int64          `json:"ms"`
 	Cells  []CellProgress `json:"cells,omitempty"`
+	// BW carries per-bus cumulative bandwidth (sorted by bus name) when the
+	// run profiles with -bw; questtop renders it as a fleet B/s column.
+	BW []BusRate `json:"bw,omitempty"`
 	// Deltas carries the change in the run's metrics registry since the
 	// previous snapshot (counters and histogram counts subtract; gauges are
 	// instantaneous) — trial throughput, worker busy time, decoder counters.
@@ -308,6 +323,7 @@ func validate(data []byte, tail bool) (ValidateReport, error) {
 	rep.ShardIndex, rep.ShardCount = st.Header.ShardIndex, st.Header.ShardCount
 	lastSeq, lastMs := 0, int64(0)
 	doneByCell := map[string]bool{}
+	bytesByBus := map[string]uint64{}
 	for i, s := range st.Snapshots {
 		if tail {
 			if s.Seq <= lastSeq {
@@ -340,6 +356,21 @@ func validate(data []byte, tail bool) (ValidateReport, error) {
 				return rep, fmt.Errorf("events: snapshot %d: cell %q negative rate %v", i+1, c.Cell, c.RatePerSec)
 			}
 			doneByCell[c.Cell] = c.Done
+		}
+		for j, b := range s.BW {
+			if b.Bus == "" {
+				return rep, fmt.Errorf("events: snapshot %d: bw entry %d has no bus name", i+1, j)
+			}
+			if j > 0 && !(s.BW[j-1].Bus < b.Bus) {
+				return rep, fmt.Errorf("events: snapshot %d: bw buses not sorted by name (%q before %q)", i+1, s.BW[j-1].Bus, b.Bus)
+			}
+			if b.RatePerSec < 0 {
+				return rep, fmt.Errorf("events: snapshot %d: bus %q negative rate %v", i+1, b.Bus, b.RatePerSec)
+			}
+			if prev, ok := bytesByBus[b.Bus]; ok && b.Bytes < prev {
+				return rep, fmt.Errorf("events: snapshot %d: bus %q cumulative bytes %d ran backwards (previous %d)", i+1, b.Bus, b.Bytes, prev)
+			}
+			bytesByBus[b.Bus] = b.Bytes
 		}
 	}
 	rep.Snapshots = len(st.Snapshots)

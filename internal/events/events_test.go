@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"quest/internal/bwprofile"
 	"quest/internal/mc"
 	"quest/internal/metrics"
 )
@@ -448,5 +449,71 @@ func TestSamplerConcurrentObserve(t *testing.T) {
 	}
 	if rep.Cells != 8 {
 		t.Fatalf("cells = %d, want 8", rep.Cells)
+	}
+}
+
+func TestSamplerBWSection(t *testing.T) {
+	var buf bytes.Buffer
+	clk := newFakeClock()
+	s := NewSampler(NewWriter(&buf, nil), nil)
+	s.now = clk.now
+	rec := bwprofile.New(8)
+	s.SetBW(rec)
+	if err := s.Start(Header{Experiment: "test"}, time.Hour); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	rec.Observe(0, bwprofile.BusLogical, bwprofile.ClassPrep, 3, 6)
+	rec.Observe(1, bwprofile.BusSync, bwprofile.ClassSync, 1, 2)
+	clk.advance(2 * time.Second)
+	if err := s.Sample(); err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	st, err := ParseStream(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseStream: %v", err)
+	}
+	if _, err := Validate(buf.Bytes()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	bw := st.Snapshots[0].BW
+	if len(bw) != 2 {
+		t.Fatalf("BW = %+v, want 2 buses", bw)
+	}
+	// Sorted by bus name: logical before sync.
+	if bw[0].Bus != "logical" || bw[0].Instrs != 3 || bw[0].Bytes != 6 || bw[0].RatePerSec != 3 {
+		t.Errorf("logical = %+v, want 3 instrs, 6 B, 3 B/s over 2s", bw[0])
+	}
+	if bw[1].Bus != "sync" || bw[1].Bytes != 2 || bw[1].RatePerSec != 1 {
+		t.Errorf("sync = %+v, want 2 B at 1 B/s", bw[1])
+	}
+}
+
+func TestValidateRejectsBadBW(t *testing.T) {
+	header := `{"record":"header","schema":"quest-events/1","experiment":"e","go_version":"go","host":"h","pid":1,"start_ms":5}`
+	for name, lines := range map[string][]string{
+		"unsorted buses": {
+			header,
+			`{"record":"snapshot","seq":1,"ms":0,"bw":[{"bus":"sync","bytes":1},{"bus":"logical","bytes":1}],"runtime":{}}`,
+		},
+		"unnamed bus": {
+			header,
+			`{"record":"snapshot","seq":1,"ms":0,"bw":[{"bus":"","bytes":1}],"runtime":{}}`,
+		},
+		"negative rate": {
+			header,
+			`{"record":"snapshot","seq":1,"ms":0,"bw":[{"bus":"logical","rate_per_sec":-1}],"runtime":{}}`,
+		},
+		"cumulative bytes backwards": {
+			header,
+			`{"record":"snapshot","seq":1,"ms":0,"bw":[{"bus":"logical","bytes":9}],"runtime":{}}`,
+			`{"record":"snapshot","seq":2,"ms":1,"bw":[{"bus":"logical","bytes":4}],"runtime":{}}`,
+		},
+	} {
+		if _, err := Validate([]byte(strings.Join(lines, "\n") + "\n")); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
 	}
 }

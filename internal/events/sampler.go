@@ -2,9 +2,11 @@ package events
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
+	"quest/internal/bwprofile"
 	"quest/internal/mc"
 	"quest/internal/metrics"
 )
@@ -52,6 +54,7 @@ type Sampler struct {
 	seq   int
 	prev  metrics.Snapshot
 	start time.Time
+	bw    *bwprofile.Recorder // nil when the run is not profiling bandwidth
 
 	ticker *time.Ticker
 	stop   chan struct{}
@@ -68,6 +71,19 @@ func NewSampler(w *Writer, reg *metrics.Registry) *Sampler {
 		now:   wallClock,
 		cells: make(map[string]*cellState),
 	}
+}
+
+// SetBW attaches the run's bandwidth recorder: every snapshot then carries
+// the recorder's cumulative per-bus totals and mean byte rates (Snapshot.BW)
+// so questtop can show fleet bandwidth live. Call before Start; nil detaches.
+// No-op on a nil sampler.
+func (s *Sampler) SetBW(r *bwprofile.Recorder) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.bw = r
+	s.mu.Unlock()
 }
 
 // Start writes the stream header (stamping StartMs from the sampler's
@@ -178,6 +194,23 @@ func (s *Sampler) Sample() error {
 			cp.EtaMs = int64(float64(cp.Budget-cp.Completed) / cs.rate * 1000)
 		}
 		snap.Cells = append(snap.Cells, cp)
+	}
+	if s.bw != nil {
+		elapsed := now.Sub(s.start).Seconds()
+		for _, bt := range s.bw.Totals() {
+			if bt.Instrs == 0 && bt.Bytes == 0 {
+				continue
+			}
+			br := BusRate{Bus: bt.Bus.String(), Instrs: bt.Instrs, Bytes: bt.Bytes}
+			if elapsed > 0 {
+				br.RatePerSec = float64(bt.Bytes) / elapsed
+			}
+			snap.BW = append(snap.BW, br)
+		}
+		// Totals come back in bus enum order; the stream invariant (and what
+		// keeps snapshot bytes stable if the enum is ever reordered) is name
+		// order.
+		sort.Slice(snap.BW, func(i, j int) bool { return snap.BW[i].Bus < snap.BW[j].Bus })
 	}
 	if s.reg != nil {
 		cur := s.reg.Snapshot()

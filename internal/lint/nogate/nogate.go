@@ -47,9 +47,10 @@ var Analyzer = &analysis.Analyzer{
 // analyzer works both on the real packages and on testdata stubs.
 var (
 	gatedTypes = map[string][]string{
-		"internal/tracing": {"Tracer"},
-		"internal/heatmap": {"Collector", "Set"},
-		"internal/events":  {"Sampler"},
+		"internal/tracing":   {"Tracer"},
+		"internal/heatmap":   {"Collector", "Set"},
+		"internal/events":    {"Sampler"},
+		"internal/bwprofile": {"Recorder"},
 	}
 	instrumentTypes = map[string][]string{
 		"internal/metrics": {"Counter", "Gauge", "Histogram"},

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"quest/internal/bwprofile"
 	"quest/internal/events"
 	"quest/internal/heatmap"
 	"quest/internal/mc"
@@ -15,6 +16,7 @@ type engine struct {
 	tr   *tracing.Tracer
 	heat *heatmap.Collector
 	smp  *events.Sampler
+	bw   *bwprofile.Recorder
 	ops  *metrics.Counter
 	ns   *metrics.Histogram
 }
@@ -59,6 +61,16 @@ func (e *engine) ungatedSampler(p mc.Progress) {
 func (e *engine) gatedSampler(p mc.Progress) {
 	if e.smp != nil {
 		e.smp.ObserveCell("cell", p)
+	}
+}
+
+func (e *engine) ungatedRecorder(cycle int) {
+	e.bw.Observe(cycle, bwprofile.BusLogical, bwprofile.ClassPauli, 1, 2) // want "not nil-gated"
+}
+
+func (e *engine) gatedRecorder(cycle int) {
+	if e.bw != nil {
+		e.bw.Observe(cycle, bwprofile.BusLogical, bwprofile.ClassPauli, 1, 2)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"quest/internal/bandwidth"
+	"quest/internal/bwprofile"
 	"quest/internal/decoder"
 	"quest/internal/distill"
 	"quest/internal/heatmap"
@@ -67,6 +68,10 @@ type Config struct {
 	// collector, complementing the defect births the MCE histories record.
 	// Nil (the default) keeps the decode path allocation-free.
 	Heat *heatmap.Set
+	// BW, when non-nil, buckets every bus observation into cycle windows
+	// with per-µop-class attribution for the quest-bw/1 bandwidth profile.
+	// Nil (the default) keeps the dispatch paths allocation-free.
+	BW *bwprofile.Recorder
 }
 
 // masterInstr bundles the controller's instruments.
@@ -115,6 +120,7 @@ type Master struct {
 
 	in *masterInstr
 	tr *tracing.Tracer
+	bw *bwprofile.Recorder
 
 	cycle          int
 	escalatedTotal uint64
@@ -143,6 +149,7 @@ func New(cfg Config, tiles []*mce.MCE) *Master {
 		queues: make([][]packet, len(tiles)),
 		in:     newMasterInstr(reg),
 		tr:     tr,
+		bw:     cfg.BW,
 	}
 	// Mirror the per-class bus meters into the registry so -metrics reports
 	// bus traffic alongside latencies without a second accounting path.
@@ -192,12 +199,13 @@ func New(cfg Config, tiles []*mce.MCE) *Master {
 func (m *Master) Tiles() []*mce.MCE { return m.tiles }
 
 // Reset rewinds the controller to the state New built, rebinding the
-// per-trial observation hooks (metrics shard, tracer, heat set). The tiles
+// per-trial observation hooks (metrics shard, tracer, heat set, bandwidth
+// recorder). The tiles
 // are reset separately (they carry their own seeds); the decoders' lookup
 // tables are trial-independent and kept. The NoC mesh carries in-flight
 // packet state that no drain guarantees empty, so pooled resets are only
 // supported for the ideal-queue network model.
-func (m *Master) Reset(reg *metrics.Registry, tr *tracing.Tracer, heat *heatmap.Set) {
+func (m *Master) Reset(reg *metrics.Registry, tr *tracing.Tracer, heat *heatmap.Set, bw *bwprofile.Recorder) {
 	if m.mesh != nil {
 		panic("master: Reset with a NoC mesh is not supported; build a fresh machine")
 	}
@@ -240,6 +248,7 @@ func (m *Master) Reset(reg *metrics.Registry, tr *tracing.Tracer, heat *heatmap.
 	}
 	m.in = newMasterInstr(reg)
 	m.tr = tr
+	m.bw = bw
 	m.cycle = 0
 	m.escalatedTotal = 0
 	m.globalCorr = 0
@@ -259,6 +268,9 @@ func (m *Master) Dispatch(tile int, in isa.LogicalInstr) error {
 		m.queues[tile] = append(m.queues[tile], packet{tile: tile, instr: in})
 	}
 	m.Logical.Add(1, isa.LogicalInstrBytes)
+	if m.bw != nil {
+		m.bw.Observe(m.cycle, bwprofile.BusLogical, bwprofile.ClassOf(in.Op), 1, isa.LogicalInstrBytes)
+	}
 	m.in.dispatched.Inc()
 	if m.tr != nil {
 		m.tr.InstantArg("master", 0, "dispatch", int64(m.cycle), "tile", int64(tile))
@@ -281,6 +293,9 @@ func (m *Master) SendSync(tile int, id uint16) error {
 		m.queues[tile] = append(m.queues[tile], packet{tile: tile, instr: in})
 	}
 	m.Sync.Add(1, isa.LogicalInstrBytes)
+	if m.bw != nil {
+		m.bw.Observe(m.cycle, bwprofile.BusSync, bwprofile.ClassSync, 1, isa.LogicalInstrBytes)
+	}
 	m.in.syncsSent.Inc()
 	if m.tr != nil {
 		m.tr.InstantArg("master", 0, "sync", int64(m.cycle), "tile", int64(tile))
@@ -298,6 +313,10 @@ func (m *Master) LoadCache(tile, slot int, body []isa.LogicalInstr) error {
 		return err
 	}
 	m.Cache.Add(uint64(len(body)), uint64(len(body)*isa.LogicalInstrBytes))
+	if m.bw != nil {
+		m.bw.Observe(m.cycle, bwprofile.BusCache, bwprofile.ClassCache,
+			uint64(len(body)), uint64(len(body)*isa.LogicalInstrBytes))
+	}
 	m.in.cacheBodies.Inc()
 	if m.tr != nil {
 		m.tr.InstantArg("master", 0, "cache.load", int64(m.cycle), "bytes", int64(len(body)*isa.LogicalInstrBytes))
@@ -452,6 +471,10 @@ func (m *Master) StepCycle() CycleReport {
 			// Syndrome data returns over the global bus: one byte per
 			// escalated defect record (position+round packed).
 			m.Syndrome.Add(uint64(len(r.DefectsEscalated)), uint64(len(r.DefectsEscalated)))
+			if m.bw != nil {
+				m.bw.Observe(m.cycle, bwprofile.BusSyndrome, bwprofile.ClassSyndrome,
+					uint64(len(r.DefectsEscalated)), uint64(len(r.DefectsEscalated)))
+			}
 			if m.tr != nil {
 				m.tr.InstantArg("decoder", i, "escalate", int64(m.cycle), "defects", int64(len(r.DefectsEscalated)))
 			}

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"quest/internal/bwprofile"
 	"quest/internal/heatmap"
 	"quest/internal/metrics"
 	"quest/internal/tracing"
@@ -191,6 +192,10 @@ type TrialCtx struct {
 	// byte-identical for any worker count even under CI early stop, where
 	// different worker counts execute different overrun trials.
 	Heat *heatmap.Collector
+	// BW is the trial-private bandwidth-profile shard (nil when profiling
+	// off), trial-private for the same worker-count-invariance reason as
+	// Heat.
+	BW *bwprofile.Recorder
 }
 
 // Observers bundles the optional observation hooks of RunObserved. The zero
@@ -220,6 +225,12 @@ type Observers struct {
 	// via TrialCtx; shards of the effective trials are merged into Heat in
 	// trial order after the pool drains.
 	Heat *heatmap.Collector
+
+	// BW, when non-nil, gives every trial a private bandwidth-profile shard
+	// (BW.NewShard) via TrialCtx; shards of the effective trials are merged
+	// into BW in trial order after the pool drains, so the quest-bw/1
+	// waveform bytes are identical for any worker count.
+	BW *bwprofile.Recorder
 
 	// Sink, when non-nil, receives every effective trial's outcome in
 	// trial order after the pool drains — the ledger writer's feed. It
@@ -453,6 +464,8 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 	prog := newProgressState(obs.Progress, obs.ProgressEvery, trials, st)
 	heatParent := obs.Heat
 	heatShards := makeHeatShards(heatParent, trials)
+	bwParent := obs.BW
+	bwShards := makeBWShards(bwParent, trials)
 	busyNs := make([]int64, workers) // per-worker time spent inside fn
 	start := wallClock()
 	for w := 0; w < workers; w++ {
@@ -491,7 +504,12 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 						heat = heatParent.NewShard()
 						heatShards[t] = heat
 					}
-					out = ofn(t, TrialSeed(cellSeed, t), TrialCtx{Shard: shard, Trace: trace, Heat: heat})
+					var bw *bwprofile.Recorder
+					if bwShards != nil {
+						bw = bwParent.NewShard()
+						bwShards[t] = bw
+					}
+					out = ofn(t, TrialSeed(cellSeed, t), TrialCtx{Shard: shard, Trace: trace, Heat: heat, BW: bw})
 				case tfn != nil:
 					out = tfn(t, TrialSeed(cellSeed, t), shard, trace)
 				default:
@@ -567,6 +585,11 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 			heatParent.Merge(hs)
 		}
 	}
+	if bwParent != nil {
+		for _, bs := range bwShards[:effective] {
+			bwParent.Merge(bs)
+		}
+	}
 	if obs.Sink != nil {
 		for t, out := range outcomes[:effective] {
 			obs.Sink(t, TrialSeed(cellSeed, t), out)
@@ -590,6 +613,17 @@ func makeHeatShards(heat *heatmap.Collector, trials int) []*heatmap.Collector {
 		return nil
 	}
 	return make([]*heatmap.Collector, trials)
+}
+
+// makeBWShards builds the per-trial bandwidth-profile shard store, or
+// returns nil when profiling is off. Per-trial for the same CI-early-stop
+// reason as makeHeatShards: the merge must discard exactly the overrun
+// trials.
+func makeBWShards(bw *bwprofile.Recorder, trials int) []*bwprofile.Recorder {
+	if bw == nil {
+		return nil
+	}
+	return make([]*bwprofile.Recorder, trials)
 }
 
 // makeTraceShards builds one private Tracer per worker, each sized like the

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"quest/internal/awg"
+	"quest/internal/bwprofile"
 	"quest/internal/clifford"
 	"quest/internal/compiler"
 	"quest/internal/decoder"
@@ -102,6 +103,11 @@ type Config struct {
 	// same-shape tiles accumulate into one grid. Nil (the default) keeps
 	// defect extraction allocation-free.
 	Heat *heatmap.Set
+	// BW, when non-nil, records cache-replayed instructions (the traffic the
+	// MCE-local cache keeps off the global bus — replayed instrs, zero bus
+	// bytes) into the cycle-windowed bandwidth profile. Nil (the default)
+	// keeps the replay path allocation-free.
+	BW *bwprofile.Recorder
 }
 
 // CycleReport summarizes one StepCycle.
@@ -158,6 +164,7 @@ type MCE struct {
 
 	in  *instr
 	tr  *tracing.Tracer
+	bw  *bwprofile.Recorder
 	tid int
 
 	cycle          int
@@ -210,6 +217,7 @@ func New(cfg Config) *MCE {
 
 		in:  newInstr(reg),
 		tr:  tr,
+		bw:  cfg.BW,
 		tid: cfg.TileID,
 
 		pendingSynd: make(map[int]int),
@@ -253,7 +261,7 @@ func New(cfg Config) *MCE {
 // MCEs (via Machine pooling) so per-trial construction cost is paid once per
 // worker instead of once per trial; the pooled-vs-fresh equivalence is pinned
 // by TestMachineResetMatchesFresh.
-func (m *MCE) Reset(seed int64, reg *metrics.Registry, tr *tracing.Tracer, heat *heatmap.Set) {
+func (m *MCE) Reset(seed int64, reg *metrics.Registry, tr *tracing.Tracer, heat *heatmap.Set, bw *bwprofile.Recorder) {
 	if reg == nil {
 		reg = metrics.Default
 	}
@@ -264,6 +272,7 @@ func (m *MCE) Reset(seed int64, reg *metrics.Registry, tr *tracing.Tracer, heat 
 	m.cfg.Metrics = reg
 	m.cfg.Tracer = tr
 	m.cfg.Heat = heat
+	m.cfg.BW = bw
 	lat := m.cfg.Layout.Lat
 
 	m.tableau.SetRNG(rand.New(rand.NewSource(seed)))
@@ -292,6 +301,7 @@ func (m *MCE) Reset(seed int64, reg *metrics.Registry, tr *tracing.Tracer, heat 
 
 	m.in = newInstr(reg)
 	m.tr = tr
+	m.bw = bw
 
 	m.cycle = 0
 	m.microOps, m.logicalRetired = 0, 0
@@ -356,6 +366,12 @@ func (m *MCE) Enqueue(in isa.LogicalInstr) error {
 		}
 		m.cacheHits += uint64(reps)
 		m.in.cacheHits.Add(uint64(reps))
+		if m.bw != nil {
+			// Replayed instructions are the bandwidth the cache saved: they
+			// enter the pipeline here without crossing the global bus, so
+			// they are metered with zero bytes.
+			m.bw.Observe(m.cycle, bwprofile.BusReplay, bwprofile.ClassReplay, uint64(reps*len(body)), 0)
+		}
 		if m.tr != nil {
 			m.tr.InstantArg("mce", m.tid, "cache.replay", int64(m.cycle), "reps", int64(reps))
 		}

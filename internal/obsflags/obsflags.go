@@ -28,6 +28,15 @@
 //	                     (per-cell progress/rates/ETA, metrics deltas, runtime
 //	                     stats) as JSONL to FILE ('-' = stdout); watch one or
 //	                     many with tools/questtop
+//	-bw FILE             record a cycle-windowed instruction-bandwidth profile
+//	                     of every master/MCE bus and write it as a
+//	                     quest-bw/1 JSONL artifact ('-' = stdout), plus an
+//	                     ASCII waveform on Log; compare runs with
+//	                     tools/bwreport
+//	-bw-window N         bandwidth profile window width in machine cycles
+//	                     (0 = default 8)
+//
+// At most one of -events and -bw may write to stdout ('-').
 //
 // With -pprof, the HTTP server additionally serves the live event stream as
 // Server-Sent Events on /events and a liveness probe on /healthz.
@@ -51,6 +60,7 @@ import (
 	"sync/atomic"
 	"unicode/utf8"
 
+	"quest/internal/bwprofile"
 	"quest/internal/chart"
 	"quest/internal/events"
 	"quest/internal/heatmap"
@@ -73,6 +83,8 @@ type Obs struct {
 	shardSpec  *string
 	resumePath *string
 	eventsPath *string
+	bwPath     *string
+	bwWindow   *int
 
 	// shard and resume are the validated flag values, resolved by Start.
 	shard  ledger.ShardInfo
@@ -93,6 +105,14 @@ type Obs struct {
 	sampler      atomic.Pointer[events.Sampler]
 	eventsFile   *os.File
 	eventsOpened bool
+
+	// bw is the process bandwidth recorder, created by Start when -bw is
+	// given; bwExperiment/bwConfig are the artifact provenance, stored by
+	// OpenBW and written by Finish.
+	bw           *bwprofile.Recorder
+	bwExperiment string
+	bwConfig     map[string]string
+	bwOpened     bool
 	// Log is where status lines and metric dumps go (default os.Stderr).
 	Log io.Writer
 }
@@ -122,6 +142,10 @@ func Register(fs *flag.FlagSet) *Obs {
 			"resume from this partial run ledger: replay its completed cells and trials, execute only the rest"),
 		eventsPath: fs.String("events", "",
 			"stream live quest-events/1 telemetry snapshots as JSONL to this file ('-' = stdout); watch with tools/questtop"),
+		bwPath: fs.String("bw", "",
+			"record a cycle-windowed instruction-bandwidth profile and write it as quest-bw/1 JSONL to this file ('-' = stdout); compare with tools/bwreport"),
+		bwWindow: fs.Int("bw-window", 0,
+			fmt.Sprintf("bandwidth profile window width in machine cycles (0 = %d)", bwprofile.DefaultWindow)),
 		Log: os.Stderr,
 	}
 }
@@ -159,6 +183,27 @@ func (o *Obs) ProgressEnabled() bool { return *o.progress }
 // HeatSet returns the process heat-collector set (nil when -heatmap is off,
 // which keeps the decode paths allocation-free). Valid after Start.
 func (o *Obs) HeatSet() *heatmap.Set { return o.heat }
+
+// BW returns the process bandwidth recorder (nil when -bw is off, which
+// keeps the dispatch and cache-replay paths allocation-free). Valid after
+// Start. Sweep drivers pass it through core.SweepObs.BW; cycle-loop binaries
+// (questsim) hand it straight to the machine config.
+func (o *Obs) BW() *bwprofile.Recorder { return o.bw }
+
+// OpenBW stores the experiment name and config the quest-bw/1 artifact's
+// provenance header will carry; Finish writes the file. No-op when -bw is
+// off. Call once, after Start and before the run.
+func (o *Obs) OpenBW(experiment string, config map[string]string) error {
+	if *o.bwPath == "" {
+		return nil
+	}
+	if o.bwOpened {
+		return fmt.Errorf("bw: OpenBW called twice")
+	}
+	o.bwOpened = true
+	o.bwExperiment, o.bwConfig = experiment, config
+	return nil
+}
 
 // Shard returns the validated -shard value (the zero ShardInfo when
 // unsharded). Valid after Start.
@@ -290,6 +335,7 @@ func (o *Obs) OpenEvents(experiment string, config map[string]string) error {
 		w = f
 	}
 	smp := events.NewSampler(events.NewWriter(w, o.bcast), o.ShardReg())
+	smp.SetBW(o.bw) // nil when -bw is off; snapshots then omit the BW section
 	host, _ := os.Hostname()
 	h := events.Header{
 		Experiment: experiment,
@@ -359,6 +405,14 @@ func (o *Obs) Start() error {
 	if *o.traceBuf < 0 {
 		return fmt.Errorf("-trace-buf %d out of range: want a ring capacity in events, or 0 for the default %d", *o.traceBuf, tracing.DefaultCapacity)
 	}
+	if *o.bwWindow < 0 {
+		return fmt.Errorf("-bw-window %d out of range: want a window width in machine cycles, or 0 for the default %d", *o.bwWindow, bwprofile.DefaultWindow)
+	}
+	if *o.eventsPath == "-" && *o.bwPath == "-" {
+		// Both artifacts are line-oriented JSONL on their own schema; two
+		// writers interleaving on one stdout would corrupt both.
+		return fmt.Errorf("-events - and -bw - both claim stdout: at most one stream may write to '-', give the other a file path")
+	}
 	shard, err := ledger.ParseShardSpec(*o.shardSpec)
 	if err != nil {
 		return fmt.Errorf("-shard: %w", err)
@@ -398,6 +452,9 @@ func (o *Obs) Start() error {
 	if *o.heatPath != "" {
 		o.heat = heatmap.NewSet()
 	}
+	if *o.bwPath != "" {
+		o.bw = bwprofile.New(*o.bwWindow)
+	}
 	if *o.pprofAddr != "" {
 		ln, err := net.Listen("tcp", *o.pprofAddr)
 		if err != nil {
@@ -433,7 +490,8 @@ func (o *Obs) Start() error {
 
 // Finish flushes everything the flags asked for: the trace file (plus a
 // per-track busy/stall/idle summary on Log), the ledger, the heatmap JSON
-// (plus ASCII defect-density renders on Log), the metrics dump, and the HTTP
+// (plus ASCII defect-density renders on Log), the quest-bw/1 bandwidth
+// profile (plus an ASCII waveform on Log), the metrics dump, and the HTTP
 // server shutdown. Safe to call when nothing was enabled.
 func (o *Obs) Finish() error {
 	var firstErr error
@@ -474,6 +532,14 @@ func (o *Obs) Finish() error {
 				firstErr = err
 			}
 			fmt.Fprintln(o.Log, "heatmap:", err)
+		}
+	}
+	if o.bw != nil {
+		if err := o.writeBW(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			fmt.Fprintln(o.Log, "bw:", err)
 		}
 	}
 	switch *o.metricsFmt {
@@ -535,6 +601,49 @@ func (o *Obs) writeHeat() error {
 		}
 		fmt.Fprintln(o.Log, render)
 	}
+	return nil
+}
+
+func (o *Obs) writeBW() error {
+	bw := o.bw
+	o.bw = nil
+	if *o.bwPath == "-" {
+		if err := bw.WriteJSONL(os.Stdout, o.bwExperiment, o.bwConfig); err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Create(*o.bwPath)
+		if err != nil {
+			return err
+		}
+		if err := bw.WriteJSONL(f, o.bwExperiment, o.bwConfig); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	s := bw.Summary()
+	fmt.Fprintf(o.Log, "bw: %d window(s) over %d cycle(s) written to %s (compare with bwreport)\n",
+		s.Windows, s.Cycles, *o.bwPath)
+	wins := bw.WindowBytes()
+	if len(wins) == 0 {
+		return nil
+	}
+	vals := make([]float64, len(wins))
+	for i, b := range wins {
+		vals[i] = float64(b)
+	}
+	render, err := chart.Waveform(vals, chart.WaveformOptions{
+		Title: fmt.Sprintf("bus bytes per %d-cycle window (peak %d B, sustained %.3g B, burstiness %.2f)",
+			s.WindowCycles, s.PeakBytes, s.SustainedBytes, s.Burstiness),
+		Unit: " B",
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(o.Log, render)
 	return nil
 }
 

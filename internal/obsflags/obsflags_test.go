@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"quest/internal/bwprofile"
 	"quest/internal/events"
 	"quest/internal/heatmap"
 	"quest/internal/ledger"
@@ -488,4 +489,98 @@ func TestEventsSSEAndHealthz(t *testing.T) {
 		}
 	}
 	t.Fatalf("no SSE frame received: %v", sc.Err())
+}
+
+func TestStartRejectsTwoStdoutStreams(t *testing.T) {
+	defer resetDefaults()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := Register(fs)
+	o.Log = io.Discard
+	if err := fs.Parse([]string{"-events", "-", "-bw", "-"}); err != nil {
+		t.Fatal(err)
+	}
+	err := o.Start()
+	if err == nil {
+		t.Fatal("Start accepted -events - with -bw -: two JSONL streams would interleave on stdout")
+	}
+	if !strings.Contains(err.Error(), "stdout") {
+		t.Errorf("error %q does not name the stdout conflict", err)
+	}
+}
+
+func TestStartAllowsOneStdoutStream(t *testing.T) {
+	defer resetDefaults()
+	for _, argv := range [][]string{
+		{"-events", "-"},
+		{"-bw", "-"},
+	} {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		o := Register(fs)
+		o.Log = io.Discard
+		if err := fs.Parse(argv); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Start(); err != nil {
+			t.Errorf("Start(%v): %v, want accepted", argv, err)
+		}
+	}
+}
+
+func TestStartRejectsNegativeBWWindow(t *testing.T) {
+	defer resetDefaults()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := Register(fs)
+	if err := fs.Parse([]string{"-bw", "x.jsonl", "-bw-window", "-3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(); err == nil {
+		t.Fatal("Start accepted -bw-window -3")
+	}
+}
+
+func TestBWLifecycle(t *testing.T) {
+	defer resetDefaults()
+	path := filepath.Join(t.TempDir(), "bw.jsonl")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := Register(fs)
+	var log bytes.Buffer
+	o.Log = &log
+	if err := fs.Parse([]string{"-bw", path, "-bw-window", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rec := o.BW()
+	if rec == nil {
+		t.Fatal("BW() = nil after Start with -bw")
+	}
+	if err := o.OpenBW("memory", map[string]string{"p": "0.001"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.OpenBW("memory", nil); err == nil {
+		t.Fatal("OpenBW accepted a second call")
+	}
+	rec.Observe(0, bwprofile.BusLogical, bwprofile.ClassPrep, 1, 2)
+	rec.Observe(5, bwprofile.BusSync, bwprofile.ClassSync, 1, 2)
+	if err := o.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bwprofile.Validate(data)
+	if err != nil {
+		t.Fatalf("written profile invalid: %v", err)
+	}
+	if rep.Experiment != "memory" || rep.Summary.Windows != 2 || rep.Summary.WindowCycles != 4 {
+		t.Errorf("report = %+v, want experiment memory, 2 windows of 4 cycles", rep)
+	}
+	if !strings.Contains(log.String(), "bwreport") || !strings.Contains(log.String(), "window") {
+		t.Errorf("Finish did not log the bw summary line:\n%s", log.String())
+	}
+	if !strings.Contains(log.String(), "┤") {
+		t.Errorf("Finish did not render the waveform:\n%s", log.String())
+	}
 }

@@ -40,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"quest/internal/bandwidth"
 	"quest/internal/events"
 	"quest/tools/internal/cli"
 )
@@ -199,6 +200,42 @@ func latestCells(s shardStream) []events.CellProgress {
 	return nil
 }
 
+// latestBW returns the per-bus bandwidth state of a stream's newest
+// snapshot (nil when the stream has none, e.g. the run is not profiling).
+func latestBW(s shardStream) []events.BusRate {
+	if n := len(s.stream.Snapshots); n > 0 {
+		return s.stream.Snapshots[n-1].BW
+	}
+	return nil
+}
+
+// renderBW writes the fleet bus-bandwidth line: per-bus cumulative bytes and
+// summed byte rates across all shards, in bus-name order. Silent when no
+// stream carries bandwidth telemetry (runs without -bw).
+func renderBW(w io.Writer, shards []shardStream) {
+	busBytes := map[string]uint64{}
+	busRate := map[string]float64{}
+	var names []string
+	for _, s := range shards {
+		for _, b := range latestBW(s) {
+			if _, seen := busBytes[b.Bus]; !seen {
+				names = append(names, b.Bus)
+			}
+			busBytes[b.Bus] += b.Bytes
+			busRate[b.Bus] += b.RatePerSec
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s %d B @ %s", name, busBytes[name], bandwidth.BytesPerSec(busRate[name]))
+	}
+	fmt.Fprintf(w, "bus bandwidth: %s\n", strings.Join(parts, " · "))
+}
+
 // render writes the fleet-wide aggregated view: one row per shard, a totals
 // row, then the slowest unfinished cell and the CI-width frontier.
 func render(w io.Writer, shards []shardStream) {
@@ -243,6 +280,7 @@ func render(w io.Writer, shards []shardStream) {
 	}
 	fmt.Fprintf(w, "%-12s %-24s %8s %6d %6d %12.1f %10s\n",
 		"total", "", "", totalCells, totalDone, totalRate, etaString(fleetEta))
+	renderBW(w, shards)
 	if slowest == nil {
 		fmt.Fprintf(w, "all %d cell(s) done\n", totalCells)
 		return

@@ -231,3 +231,54 @@ func TestQuesttopAllDone(t *testing.T) {
 		t.Errorf("output %q does not report completion", out.String())
 	}
 }
+
+func TestQuesttopRendersFleetBandwidth(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, index int, logicalBytes uint64, rate float64) string {
+		var buf bytes.Buffer
+		w := events.NewWriter(&buf, nil)
+		if err := w.WriteHeader(events.Header{
+			Experiment: "bw-test", GoVersion: "go-test", Host: name, PID: 1,
+			ShardIndex: index, ShardCount: 2, StartMs: 1_000,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		snap := events.Snapshot{Seq: 1, Ms: 0, BW: []events.BusRate{
+			{Bus: "logical", Instrs: logicalBytes / 2, Bytes: logicalBytes, RatePerSec: rate},
+			{Bus: "sync", Instrs: 1, Bytes: 2, RatePerSec: 1},
+		}}
+		if err := w.WriteSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".jsonl")
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	s0 := write("shard0", 0, 600, 30)
+	s1 := write("shard1", 1, 400, 20)
+	var out, errw bytes.Buffer
+	if code := command().Execute([]string{s0, s1}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errw.String())
+	}
+	// Buses aggregate across shards: 600+400 logical bytes at 50 B/s.
+	if !strings.Contains(out.String(), "logical 1000 B @ 50 B/s") {
+		t.Errorf("missing aggregated logical bus line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "sync 4 B @ 2 B/s") {
+		t.Errorf("missing aggregated sync bus line:\n%s", out.String())
+	}
+}
+
+func TestQuesttopNoBandwidthLineWithoutBW(t *testing.T) {
+	dir := t.TempDir()
+	s0 := writeEventStream(t, dir, "shard0", "nobw", 0, 0, "cell-a")
+	var out, errw bytes.Buffer
+	if code := command().Execute([]string{s0}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errw.String())
+	}
+	if strings.Contains(out.String(), "bus bandwidth") {
+		t.Errorf("bandwidth line rendered for a stream without BW telemetry:\n%s", out.String())
+	}
+}
