@@ -21,7 +21,11 @@
 #                     and a pure side-band (ledger bytes identical with -bw
 #                     on/off), and render the ram/fifo/unitcell comparison
 #   make lint         gofmt + vet + questvet (CI additionally runs staticcheck)
-#   make questvet     run only the custom analyzer suite (tools/questvet)
+#   make questvet     run only the custom analyzer suite (tools/questvet),
+#                     diffed against the committed questvet-baseline.json
+#   make questvet-baseline
+#                     regenerate questvet-baseline.json after a deliberate
+#                     change (new //quest:allow, accepted finding)
 
 GO ?= go
 
@@ -29,7 +33,7 @@ GO ?= go
 # fails if the two (or CI's version matrix) drift apart.
 GO_TOOLCHAIN := go1.24.0
 
-.PHONY: all build test test-short race bench bench-json benchdiff trace-smoke ledger-smoke shard-smoke events-smoke bw-smoke lint vet fmt questvet experiments examples fuzz clean
+.PHONY: all build test test-short race bench bench-json benchdiff trace-smoke ledger-smoke shard-smoke events-smoke bw-smoke lint vet fmt questvet questvet-baseline experiments examples fuzz clean
 
 all: build vet test race
 
@@ -45,11 +49,19 @@ fmt:
 lint: vet questvet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Custom analyzer suite (internal/lint): detrange, nogate, seedsrc, schemaver.
-# Exit 1 on any unsuppressed diagnostic; the summary line counts the
-# //quest:allow suppressions in force.
+# Custom analyzer suite (internal/lint): detrange, nogate, seedsrc, schemaver,
+# plus the interprocedural hotalloc/gateflow/errsink analyzers over the
+# whole-module call graph. The run is diffed against the committed baseline:
+# only new findings, stale baseline entries, or //quest:allow count drift
+# fail. The summary line counts the suppressions in force.
 questvet:
-	$(GO) run ./tools/questvet ./...
+	$(GO) run ./tools/questvet -baseline questvet-baseline.json ./...
+
+# Regenerate the committed questvet baseline after a *deliberate* change
+# (a new reasoned //quest:allow, an accepted finding). Explain the bump in
+# the PR; TestModuleCleanAgainstBaseline keeps the file honest.
+questvet-baseline:
+	$(GO) run ./tools/questvet -write-baseline questvet-baseline.json ./...
 
 test:
 	$(GO) test ./...

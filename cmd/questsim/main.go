@@ -206,15 +206,17 @@ func writeRunLedger(obs *obsflags.Obs, rep quest.RunReport, cfg quest.MachineCon
 		return err
 	}
 	cell := fmt.Sprintf("run program=%s", program)
-	lw.WriteTrial(ledger.Trial{
+	if err := lw.WriteTrial(ledger.Trial{
 		Cell: cell, Trial: 0, Seed: ledger.SeedString(uint64(cfg.Seed)), Fail: !rep.Drained,
-	})
+	}); err != nil {
+		return err
+	}
 	failures := 0
 	if !rep.Drained {
 		failures = 1
 	}
 	lo, hi := mc.Wilson(failures, 1, 1.96)
-	lw.WriteCell(ledger.Cell{
+	return lw.WriteCell(ledger.Cell{
 		Cell: cell,
 		Params: map[string]float64{
 			"noise": noiseP, "d": float64(cfg.Distance), "tiles": float64(cfg.Tiles),
@@ -223,7 +225,6 @@ func writeRunLedger(obs *obsflags.Obs, rep quest.RunReport, cfg quest.MachineCon
 		Seed: ledger.SeedString(uint64(cfg.Seed)), Budget: 1, Trials: 1,
 		Failures: failures, Rate: float64(failures), WilsonLo: lo, WilsonHi: hi,
 	})
-	return nil
 }
 
 func buildProgram(name string, patches int) *quest.Program {

@@ -340,6 +340,8 @@ func logicalFailRateBatched(reg *metrics.Registry, tr *tracing.Tracer, d int, p 
 		func(_ int, seeds []uint64, ctx mc.BatchCtx, out []mc.Outcome) {
 			tp.runLane(p, seeds, ctx, out)
 		})
-	obs.closeCell(name, map[string]float64{"p": p, "d": float64(d)}, cell, trials, res)
+	if err := obs.closeCell(name, map[string]float64{"p": p, "d": float64(d)}, cell, trials, res); err != nil {
+		return res, true, err
+	}
 	return res, true, nil
 }

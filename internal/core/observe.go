@@ -147,9 +147,13 @@ func (s SweepObs) beginCell(name string, cellSeed uint64, budget int) (cellPlan,
 		}
 		if s.Ledger != nil {
 			for _, tr := range cc.Trials {
-				s.Ledger.WriteTrial(tr)
+				if err := s.Ledger.WriteTrial(tr); err != nil {
+					return cellPlan{}, err
+				}
 			}
-			s.Ledger.WriteCell(cc.Summary)
+			if err := s.Ledger.WriteCell(cc.Summary); err != nil {
+				return cellPlan{}, err
+			}
 		}
 		res := mc.Result{
 			Trials: cc.Summary.Trials, Failures: cc.Summary.Failures,
@@ -199,6 +203,10 @@ func (s SweepObs) observers(cell string, heat *heatmap.Collector) mc.Observers {
 	if s.Ledger != nil {
 		lw := s.Ledger
 		obs.Sink = func(trial int, seed uint64, out mc.Outcome) {
+			// The Sink contract is void (the engine cannot abort a drained
+			// trial on an I/O error); the Writer latches the first error and
+			// closeCell surfaces it when the cell finishes.
+			//quest:allow(errsink) Sink is void by contract; Writer.Err latches the failure and closeCell returns it
 			lw.WriteTrial(ledger.Trial{
 				Cell: cell, Trial: trial, Seed: ledger.SeedString(seed),
 				Fail: out.Fail, Err: errString(out.Err),
@@ -208,12 +216,15 @@ func (s SweepObs) observers(cell string, heat *heatmap.Collector) mc.Observers {
 	return obs
 }
 
-// closeCell writes the cell's ledger summary after its pool drained.
-func (s SweepObs) closeCell(cell string, params map[string]float64, cellSeed uint64, budget int, res mc.Result) {
+// closeCell writes the cell's ledger summary after its pool drained. It
+// also surfaces any trial-write error the void Sink hook latched into the
+// Writer, so a failed write mid-cell fails the sweep rather than
+// truncating the ledger silently.
+func (s SweepObs) closeCell(cell string, params map[string]float64, cellSeed uint64, budget int, res mc.Result) error {
 	if s.Ledger == nil {
-		return
+		return nil
 	}
-	s.Ledger.WriteCell(ledger.Cell{
+	if err := s.Ledger.WriteCell(ledger.Cell{
 		Cell:   cell,
 		Params: params,
 		Seed:   ledger.SeedString(cellSeed),
@@ -222,7 +233,10 @@ func (s SweepObs) closeCell(cell string, params map[string]float64, cellSeed uin
 		CIStop:       s.CIWidth,
 		StoppedEarly: res.Trials < budget,
 		Err:          errString(res.Err),
-	})
+	}); err != nil {
+		return err
+	}
+	return s.Ledger.Err()
 }
 
 // collector resolves the heat collector for a lattice shape, nil when heat
@@ -362,12 +376,17 @@ func MachineMemoryObserved(reg *metrics.Registry, tr *tracing.Tracer, physRate f
 					got = res.Bit
 				}
 			}
-			if hs != nil {
+			// hs and ctx.Heat are non-nil together; the conjunction names
+			// both receivers, which is the form the nil-gating contract
+			// (gateflow) can prove.
+			if hs != nil && ctx.Heat != nil {
 				ctx.Heat.Merge(hs.Collector(heatmap.GridName(lat.Rows, lat.Cols), lat.Rows, lat.Cols))
 			}
 			return mc.Outcome{Fail: got != 0}
 		})
-	obs.closeCell(name, map[string]float64{"p": physRate, "rounds": float64(rounds)}, cell, trials, res)
+	if err := obs.closeCell(name, map[string]float64{"p": physRate, "rounds": float64(rounds)}, cell, trials, res); err != nil {
+		return MemoryRow{}, true, err
+	}
 	row = MemoryRow{
 		PhysRate: physRate,
 		Rounds:   rounds,
@@ -446,6 +465,8 @@ func logicalFailRateObserved(reg *metrics.Registry, tr *tracing.Tracer, d int, p
 			want := 1 - 2*frame.ParityOn(logZ, true)
 			return mc.Outcome{Fail: raw != 0 && raw != want}
 		})
-	obs.closeCell(name, map[string]float64{"p": p, "d": float64(d)}, cell, trials, res)
+	if err := obs.closeCell(name, map[string]float64{"p": p, "d": float64(d)}, cell, trials, res); err != nil {
+		return res, true, err
+	}
 	return res, true, nil
 }

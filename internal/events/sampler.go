@@ -59,6 +59,9 @@ type Sampler struct {
 	ticker *time.Ticker
 	stop   chan struct{}
 	done   chan struct{}
+	// tickErr latches the first write error from the ticker goroutine
+	// (which has no caller to return it to); Stop surfaces it.
+	tickErr error
 }
 
 // NewSampler builds a sampler writing snapshots through w, with metrics
@@ -114,7 +117,13 @@ func (s *Sampler) Start(h Header, interval time.Duration) error {
 		for {
 			select {
 			case <-s.ticker.C:
-				s.Sample()
+				if err := s.Sample(); err != nil {
+					s.mu.Lock()
+					if s.tickErr == nil {
+						s.tickErr = err
+					}
+					s.mu.Unlock()
+				}
 			case <-s.stop:
 				return
 			}
@@ -246,7 +255,14 @@ func (s *Sampler) Stop() error {
 	close(s.stop)
 	<-s.done
 	s.ticker = nil
-	return s.Sample()
+	if err := s.Sample(); err != nil {
+		return err
+	}
+	// Surface any write error the ticker goroutine latched: a truncated
+	// stream must fail the run, not validate downstream.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tickErr
 }
 
 // Snapshots reports how many snapshot records the sampler has written

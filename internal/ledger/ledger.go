@@ -148,6 +148,9 @@ type Writer struct {
 	sampleEvery int
 	cells       int
 	trials      int
+	// err latches the first write failure for callers whose hook signature
+	// cannot return one (the engine's void Sink); Err surfaces it.
+	err error
 }
 
 // NewWriter writes the header line and returns a streaming writer.
@@ -214,8 +217,19 @@ func (w *Writer) WriteCell(c Cell) error {
 func (w *Writer) Cells() int  { return w.cells }
 func (w *Writer) Trials() int { return w.trials }
 
+// Err returns the first write error this writer encountered, including
+// errors from call sites that could not check the return value themselves
+// (the engine's void Sink hook). A non-nil Err means the ledger is
+// truncated and must not be trusted.
+func (w *Writer) Err() error { return w.err }
+
 // Flush drains the buffer to the underlying writer.
-func (w *Writer) Flush() error { return w.bw.Flush() }
+func (w *Writer) Flush() error {
+	if err := w.bw.Flush(); err != nil {
+		return w.latch(fmt.Errorf("ledger: %w", err))
+	}
+	return w.err
+}
 
 func (w *Writer) line(v any) error {
 	// json.Marshal (not an Encoder per record) so a line is exactly one
@@ -223,15 +237,23 @@ func (w *Writer) line(v any) error {
 	// params byte-deterministic.
 	b, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("ledger: %w", err)
+		return w.latch(fmt.Errorf("ledger: %w", err))
 	}
 	if _, err := w.bw.Write(b); err != nil {
-		return fmt.Errorf("ledger: %w", err)
+		return w.latch(fmt.Errorf("ledger: %w", err))
 	}
 	if err := w.bw.WriteByte('\n'); err != nil {
-		return fmt.Errorf("ledger: %w", err)
+		return w.latch(fmt.Errorf("ledger: %w", err))
 	}
 	return nil
+}
+
+// latch records the first failure and returns err unchanged.
+func (w *Writer) latch(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return err
 }
 
 // gitSHA extracts the vcs revision stamped into the binary, "unknown" when

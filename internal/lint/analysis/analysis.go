@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"quest/internal/lint/callgraph"
 	"quest/internal/lint/loader"
 )
 
@@ -42,6 +43,11 @@ type Pass struct {
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *loader.Package
+	// Graph is the whole-module call graph, present when the driver ran
+	// CheckGraph (questvet always does; analysistest.Run passes nil unless
+	// the fixture uses RunTree with a Config). Interprocedural analyzers
+	// must tolerate a nil Graph by reporting nothing.
+	Graph *callgraph.Graph
 
 	diags *[]Diagnostic
 }
@@ -109,9 +115,15 @@ type Result struct {
 // so directives for out-of-scope analyzers are tolerated while misspelled
 // ones are flagged.
 func Check(pkg *loader.Package, fset *token.FileSet, analyzers []*Analyzer, known []string) (Result, error) {
+	return CheckGraph(pkg, fset, nil, analyzers, known)
+}
+
+// CheckGraph is Check with a whole-module call graph attached to every
+// Pass, enabling the interprocedural analyzers (hotalloc, gateflow).
+func CheckGraph(pkg *loader.Package, fset *token.FileSet, g *callgraph.Graph, analyzers []*Analyzer, known []string) (Result, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Fset: fset, Files: pkg.Files, Pkg: pkg, diags: &diags}
+		pass := &Pass{Analyzer: a, Fset: fset, Files: pkg.Files, Pkg: pkg, Graph: g, diags: &diags}
 		if err := a.Run(pass); err != nil {
 			return Result{}, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}

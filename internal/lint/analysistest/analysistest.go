@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"quest/internal/lint/analysis"
+	"quest/internal/lint/callgraph"
 	"quest/internal/lint/loader"
 )
 
@@ -65,6 +66,59 @@ func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 	}
 
 	expects := collect(t, prog, pkg)
+	verify(t, expects, res)
+}
+
+// RunTree loads dir as its own module — the fixture carries a go.mod, and
+// its packages import each other through the fixture module path — builds
+// the whole-fixture call graph when cfg is non-nil, runs the analyzers
+// over every package through analysis.CheckGraph, and matches the combined
+// result against want/suppressed comments across all packages. This is the
+// harness for interprocedural analyzers, where the caller sits in package
+// a and the callee (and its expectation comment) in package b.
+//
+// cfg's Roots/ClosureRoots/ObserverPkgs are suffix-matched, so fixture
+// packages named like the real ones ("fix/internal/tracing") satisfy the
+// production specs.
+func RunTree(t *testing.T, dir string, cfg *callgraph.Config, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	prog, err := loader.NewProgram(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := prog.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g *callgraph.Graph
+	if cfg != nil {
+		g = callgraph.Build(prog, pkgs, *cfg)
+		for _, spec := range g.UnresolvedRoots() {
+			t.Errorf("fixture %s: root %q matches no function", dir, spec)
+		}
+	}
+	known := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		known = append(known, a.Name)
+	}
+	var combined analysis.Result
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		res, err := analysis.CheckGraph(pkg, prog.Fset, g, analyzers, known)
+		if err != nil {
+			t.Fatal(err)
+		}
+		combined.Active = append(combined.Active, res.Active...)
+		combined.Suppressed = append(combined.Suppressed, res.Suppressed...)
+		expects = append(expects, collect(t, prog, pkg)...)
+	}
+	verify(t, expects, combined)
+}
+
+// verify matches a result against the collected expectations, reporting
+// every unexpected finding and every unmet expectation.
+func verify(t *testing.T, expects []*expectation, res analysis.Result) {
+	t.Helper()
 	match := func(kind, file string, line int, msg string) bool {
 		for _, e := range expects {
 			if e.kind == kind && e.file == file && e.line == line && !e.hit && e.re.MatchString(msg) {

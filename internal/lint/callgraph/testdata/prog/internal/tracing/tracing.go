@@ -1,0 +1,7 @@
+// Package tracing is the fixture's observer package: Tracer stands in for
+// the real module's tracked observability types.
+package tracing
+
+type Tracer struct{ n int }
+
+func (t *Tracer) Emit(s string) { t.n++ }

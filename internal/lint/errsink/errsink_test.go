@@ -1,0 +1,13 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"quest/internal/lint/analysistest"
+	"quest/internal/lint/errsink"
+)
+
+func TestErrsink(t *testing.T) {
+	// errsink is intraprocedural: no call graph, so cfg is nil.
+	analysistest.RunTree(t, "testdata/sink", nil, errsink.Analyzer)
+}

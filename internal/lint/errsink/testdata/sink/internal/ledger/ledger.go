@@ -1,0 +1,14 @@
+// Package ledger mirrors the real sink package's shape: methods whose
+// error results the analyzer protects. The path suffix internal/ledger is
+// what makes it a sink.
+package ledger
+
+type Writer struct{ n int }
+
+func (w *Writer) WriteCell(v int) error { return nil }
+
+func (w *Writer) Flush() (int, error) { return w.n, nil }
+
+func (w *Writer) Count() int { return w.n }
+
+func Open(path string) (*Writer, error) { return &Writer{}, nil }

@@ -1,0 +1,5 @@
+// Package other is not a sink package: dropping its errors is someone
+// else's problem, not errsink's.
+package other
+
+func Emit(v int) error { return nil }

@@ -1,0 +1,69 @@
+// Package gateflow defines the gateflow analyzer: the interprocedural
+// extension of nogate. nogate checks, function by function and only in the
+// packages it is scoped to, that observer method calls sit under a nil
+// check on their receiver. gateflow closes the two gaps that leaves: a
+// helper called *from* a hot path but living in an unscoped package, and a
+// call that is gated — just on the wrong expression (`if shards != nil {
+// parent.NewShard() }` proves nothing about parent, and with observers
+// half-configured the hot loop pays for a panic or an allocation the pins
+// assume away).
+//
+// Concretely: for every function reachable from a hot root over ungated
+// call-graph edges, every call to a tracked observer type's method
+// (tracing.Tracer, heatmap.Collector/Set, events.Sampler,
+// bwprofile.Recorder, metrics instruments) must be dominated by a nil
+// check naming exactly the call's receiver expression. Packages where
+// nogate already enforces the local form are excluded to keep one finding
+// per defect.
+package gateflow
+
+import (
+	"strings"
+
+	"quest/internal/lint/analysis"
+)
+
+// New builds the analyzer. exclude lists module-root-relative directory
+// prefixes to skip: the nogate-scoped packages (one finding per defect) and
+// the observer packages themselves (their methods call each other past the
+// nil boundary by design).
+func New(exclude []string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "gateflow",
+		Doc: "observer method reachable from a hot path without a dominating " +
+			"nil check on its receiver",
+		Run: func(pass *analysis.Pass) error { return run(pass, exclude) },
+	}
+}
+
+func run(pass *analysis.Pass, exclude []string) error {
+	g := pass.Graph
+	if g == nil {
+		return nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(pass.Pkg.Path, g.Module), "/")
+	for _, d := range exclude {
+		if rel == d || strings.HasPrefix(rel, d+"/") {
+			return nil
+		}
+	}
+	for _, n := range g.NodesIn(pass.Pkg) {
+		if !g.Hot(n) {
+			continue
+		}
+		for _, tc := range n.Tracked {
+			if tc.GatedOnRecv {
+				continue
+			}
+			detail := "no dominating nil check"
+			if tc.Gated {
+				detail = "gated, but not on the receiver itself"
+			}
+			pass.Reportf(tc.Pos,
+				"%s.%s.%s on hot path (%s) with %s on %q; wrap in `if %s != nil`",
+				tc.PkgSuffix, tc.TypeName, tc.Method,
+				g.PathString(g.HotPath(n)), detail, tc.Recv, tc.Recv)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package gateflow_test
+
+import (
+	"testing"
+
+	"quest/internal/lint/analysistest"
+	"quest/internal/lint/callgraph"
+	"quest/internal/lint/gateflow"
+)
+
+func TestGateflow(t *testing.T) {
+	cfg := &callgraph.Config{
+		ObserverPkgs: []string{"internal/tracing"},
+		TrackedTypes: map[string][]string{"internal/tracing": {"Tracer"}},
+	}
+	analysistest.RunTree(t, "testdata/flow", cfg,
+		gateflow.New([]string{"internal/excl"}))
+}

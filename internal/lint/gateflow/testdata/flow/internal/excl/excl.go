@@ -1,0 +1,9 @@
+// Package excl is listed in the analyzer's exclude set: its ungated hot
+// call produces no finding (a nogate-scoped package owns the local form).
+package excl
+
+import "fix/internal/tracing"
+
+func Skipped(tr *tracing.Tracer) {
+	tr.Emit("excluded")
+}

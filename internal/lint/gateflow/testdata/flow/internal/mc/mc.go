@@ -1,0 +1,17 @@
+// Package mc holds the fixture's hot entry point; the observer calls it
+// reaches live in package obs, which is the cross-package case nogate
+// cannot see.
+package mc
+
+import (
+	"fix/internal/excl"
+	"fix/internal/obs"
+	"fix/internal/tracing"
+)
+
+//quest:hotpath
+func Step(a, b *tracing.Tracer) {
+	obs.Report(a)
+	obs.WrongGuard(a, b)
+	excl.Skipped(a)
+}

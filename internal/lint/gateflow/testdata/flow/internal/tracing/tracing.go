@@ -1,0 +1,5 @@
+package tracing
+
+type Tracer struct{ n int }
+
+func (t *Tracer) Emit(s string) { t.n++ }

@@ -1,0 +1,22 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"quest/internal/lint/analysistest"
+	"quest/internal/lint/callgraph"
+	"quest/internal/lint/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	// ObserverPkgs makes `if tr != nil` gate GrowTraced's append, keeping it
+	// off the budget; the fixture total is exactly the three ungated sites.
+	cfg := &callgraph.Config{
+		ObserverPkgs: []string{"internal/tracing"},
+	}
+	budgets := []hotalloc.Budget{
+		{Root: "a.Run", MaxSites: 2},
+		{Root: "a.Under", MaxSites: 1},
+	}
+	analysistest.RunTree(t, "testdata/budget", cfg, hotalloc.New(budgets))
+}

@@ -1,0 +1,18 @@
+// Package a holds two budgeted entry points: Run overflows its budget
+// through a cross-package helper; Under stays at its ceiling.
+package a
+
+import (
+	"fix/b"
+	"fix/internal/tracing"
+)
+
+func Run(n int, tr *tracing.Tracer) []int { // want "hot path a.Run has 3 static allocation site.s., budget 2"
+	out := make([]int, n) // want "allocation .make. in a.Run on hot path a.Run .over budget: 3 site.s. > 2."
+	out = b.Grow(out)
+	return b.GrowTraced(out, tr)
+}
+
+func Under() *int {
+	return new(int) // within budget: no finding
+}

@@ -1,0 +1,24 @@
+// Package b is the helper package whose allocations count against the
+// caller's budget — the interprocedural case the benchmarks' pins cannot
+// localize.
+package b
+
+import "fix/internal/tracing"
+
+func Grow(s []int) []int {
+	s = append(s, 1) // want "allocation .append. in b.Grow on hot path a.Run"
+	t := &node{}     // want "allocation .&composite. in b.Grow on hot path a.Run"
+	_ = t
+	return s
+}
+
+// GrowTraced allocates only behind an observer gate; gated sites sit on
+// the observers-on path the pins exclude, so nothing counts.
+func GrowTraced(s []int, tr *tracing.Tracer) []int {
+	if tr != nil {
+		s = append(s, len(s))
+	}
+	return s
+}
+
+type node struct{ v int }

@@ -1,0 +1,3 @@
+module cyc
+
+go 1.22

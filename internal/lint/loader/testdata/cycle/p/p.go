@@ -1,0 +1,5 @@
+package p
+
+import "cyc/q"
+
+var V = q.W

@@ -1,0 +1,5 @@
+package q
+
+import "cyc/p"
+
+var W = p.V

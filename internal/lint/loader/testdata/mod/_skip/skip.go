@@ -1,0 +1,5 @@
+// Package skip lives in an underscore directory; LoadModule must not see
+// it (it would not even type-check in isolation).
+package skip
+
+var X = Undefined

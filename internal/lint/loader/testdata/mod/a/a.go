@@ -1,0 +1,5 @@
+package a
+
+import "demo/b"
+
+func Twice(x int) int { return b.Double(x) }

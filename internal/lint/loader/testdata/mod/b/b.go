@@ -1,0 +1,11 @@
+package b
+
+import (
+	"strconv"
+
+	"demo/c"
+)
+
+func Double(x int) int { return x * c.Two }
+
+func Format(x int) string { return strconv.Itoa(x) }

@@ -1,0 +1,3 @@
+package c
+
+const Two = 2

@@ -1,0 +1,5 @@
+// Package demo sits at the module root: its import path is the module
+// path itself.
+package demo
+
+const Name = "demo"

@@ -1,0 +1,37 @@
+package questvet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"quest/internal/lint/hotalloc"
+)
+
+// BudgetSchema identifies the committed hot-path allocation-budget artifact
+// (questvet-budgets.json).
+const BudgetSchema = "quest-lint-budget/1"
+
+// BudgetFile is the questvet-budgets.json document: per-entry-point static
+// allocation ceilings, with the runtime bench pins they shadow recorded
+// alongside so the two stay reviewed together.
+type BudgetFile struct {
+	Schema  string            `json:"schema"`
+	Budgets []hotalloc.Budget `json:"budgets"`
+}
+
+// ParseBudgets reads and validates a budget document.
+func ParseBudgets(data []byte) ([]hotalloc.Budget, error) {
+	var f BudgetFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parsing budgets: %w", err)
+	}
+	if f.Schema != BudgetSchema {
+		return nil, fmt.Errorf("budget schema %q, want %q", f.Schema, BudgetSchema)
+	}
+	for _, b := range f.Budgets {
+		if b.Root == "" || b.MaxSites <= 0 {
+			return nil, fmt.Errorf("budget entry %+v: root and a positive max_sites are required", b)
+		}
+	}
+	return f.Budgets, nil
+}

@@ -1,0 +1,178 @@
+package questvet
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"quest/internal/lint/analysis"
+)
+
+// ReportSchema identifies the machine-readable questvet report artifact
+// (-json).
+const ReportSchema = "quest-lint/1"
+
+// relPath renders a diagnostic's file path relative to the module root
+// with forward slashes, so reports and baselines are machine-independent.
+func (r Report) relPath(file string) string {
+	if file == "" {
+		return ""
+	}
+	if rel, err := filepath.Rel(r.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Column   int    `json:"column,omitempty"`
+	Message  string `json:"message"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+type jsonReport struct {
+	Schema       string     `json:"schema"`
+	Module       string     `json:"module"`
+	Diagnostics  []jsonDiag `json:"diagnostics"`
+	Suppressions []jsonDiag `json:"suppressions"`
+}
+
+// WriteJSON emits the report as one quest-lint/1 JSON document.
+func (r Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{
+		Schema:       ReportSchema,
+		Module:       r.Module,
+		Diagnostics:  []jsonDiag{},
+		Suppressions: []jsonDiag{},
+	}
+	for _, d := range r.Active {
+		out.Diagnostics = append(out.Diagnostics, jsonDiag{
+			Analyzer: d.Analyzer, File: r.relPath(d.Pos.Filename),
+			Line: d.Pos.Line, Column: d.Pos.Column, Message: d.Message,
+		})
+	}
+	for _, s := range r.Suppressed {
+		out.Suppressions = append(out.Suppressions, jsonDiag{
+			Analyzer: s.Analyzer, File: r.relPath(s.Pos.Filename),
+			Line: s.Pos.Line, Column: s.Pos.Column, Message: s.Message,
+			Reason: s.Reason,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 skeleton: the minimal subset GitHub code scanning and other
+// SARIF consumers require.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits the active diagnostics as a SARIF 2.1.0 log, one rule
+// per analyzer (suppressed findings are questvet's own bookkeeping and are
+// not replayed into code-scanning UIs).
+func (r Report) WriteSARIF(w io.Writer) error {
+	ruleDocs := map[string]string{}
+	for _, sa := range Suite(nil) {
+		ruleDocs[sa.Analyzer.Name] = sa.Analyzer.Doc
+	}
+	ruleDocs[analysis.DirectiveAnalyzer] = "problems with //quest:allow suppression directives themselves"
+
+	used := map[string]bool{}
+	results := []sarifResult{}
+	for _, d := range r.Active {
+		used[d.Analyzer] = true
+		res := sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+		}
+		if d.Pos.Filename != "" {
+			res.Locations = []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: r.relPath(d.Pos.Filename)},
+					Region:           &sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}}
+		}
+		results = append(results, res)
+	}
+
+	var rules []sarifRule
+	var names []string
+	for n := range used {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		rules = append(rules, sarifRule{ID: n, ShortDescription: sarifText{Text: ruleDocs[n]}})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "questvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

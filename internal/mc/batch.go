@@ -111,7 +111,10 @@ func RunBatch(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *t
 				for i := 0; i < n; i++ {
 					seeds[i] = TrialSeed(cellSeed, lo+i)
 				}
-				if heatShards != nil {
+				// Gate on the parent, not the shard slice: they are non-nil
+				// together, and the receiver gate is the form the nil-gating
+				// contract (gateflow) can prove.
+				if heatParent != nil {
 					if heats == nil {
 						heats = make([]*heatmap.Collector, LaneWidth)
 					}
@@ -202,7 +205,9 @@ func RunBatch(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *t
 	}
 	if prog != nil {
 		prog.mu.Lock() // pairs with worker emits; also makes -race happy
-		prog.fn(Progress{Completed: effective, Failures: res.Failures,
+		// Budget mirrors the scalar engine's terminal snapshot (mc.go): a
+		// live display keys completion bars on Completed/Budget.
+		prog.fn(Progress{Completed: effective, Failures: res.Failures, Budget: prog.budget,
 			WilsonLo: res.WilsonLo, WilsonHi: res.WilsonHi, Done: true})
 		prog.mu.Unlock()
 	}

@@ -499,13 +499,17 @@ func run(trials, workers int, cellSeed uint64, reg *metrics.Registry, tr *tracin
 				var out Outcome
 				switch {
 				case ofn != nil:
+					// Gate on the parents, not the shard slices: the slices
+					// are non-nil exactly when the parents are, and the
+					// receiver gate is the form the nil-gating contract
+					// (gateflow) can prove.
 					var heat *heatmap.Collector
-					if heatShards != nil {
+					if heatParent != nil {
 						heat = heatParent.NewShard()
 						heatShards[t] = heat
 					}
 					var bw *bwprofile.Recorder
-					if bwShards != nil {
+					if bwParent != nil {
 						bw = bwParent.NewShard()
 						bwShards[t] = bw
 					}
